@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 10: boosted skip-list throughput with a
+//! single transactional lock vs a lock per key, across thread counts.
+//! Same base object in both — the gap is pure transactional-lock
+//! granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use txboost_bench::{fig10_workload, timed_transactions, Fig10Lock};
+
+const KEY_RANGE: i64 = 512;
+const THINK: Duration = Duration::from_micros(300);
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_skiplist");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .throughput(Throughput::Elements(1));
+    for threads in [1usize, 2, 4, 8] {
+        for (name, which) in [
+            ("single-lock", Fig10Lock::Single),
+            ("lock-per-key", Fig10Lock::PerKey),
+        ] {
+            let w = fig10_workload(which, KEY_RANGE, THINK);
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                b.iter_custom(|iters| timed_transactions(threads, iters, &w));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 11: boosted concurrent-heap throughput
+//! on a 50/50 add/removeMin mix — every call exclusive (mutex
+//! discipline) vs add-shared/removeMin-exclusive (readers-writer
+//! discipline, the paper's Figure 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use txboost_bench::{fig11_workload, timed_transactions, Fig11Lock};
+
+const KEY_RANGE: i64 = 512;
+const THINK: Duration = Duration::from_micros(300);
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_heap");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .throughput(Throughput::Elements(1));
+    for threads in [1usize, 2, 4, 8] {
+        for (name, which) in [("mutex", Fig11Lock::Mutex), ("rw-lock", Fig11Lock::RwLock)] {
+            let w = fig11_workload(which, KEY_RANGE, THINK);
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                b.iter_custom(|iters| timed_transactions(threads, iters, &w));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 9: transactional red-black tree
+//! throughput — boosting vs the read/write-conflict STM — across
+//! thread counts. Reported as time-per-transaction; lower is better.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use txboost_bench::{fig9_workload, timed_transactions, Fig9Impl};
+
+const KEY_RANGE: i64 = 512;
+const THINK: Duration = Duration::from_micros(300);
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_rbtree");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .throughput(Throughput::Elements(1));
+    for threads in [1usize, 2, 4, 8] {
+        for (name, which) in [("boosted", Fig9Impl::Boosted), ("rwstm", Fig9Impl::RwStm)] {
+            let w = fig9_workload(which, KEY_RANGE, THINK);
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                b.iter_custom(|iters| timed_transactions(threads, iters, &w));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! # txboost-collections — boosted transactional objects
+//!
+//! The worked examples of Herlihy & Koskinen's *transactional boosting*
+//! (PPoPP 2008, Section 3), each built by wrapping a linearizable base
+//! object from `txboost-linearizable` with abstract locks and an undo
+//! log from `txboost-core` — never by reimplementing the base object:
+//!
+//! | Type | Paper example | Base object | Abstract-lock discipline | Inverses |
+//! |---|---|---|---|---|
+//! | [`BoostedSkipListSet`] | `SkipListKey` (Fig. 2) | lazy skip list | lock per key (`LockKey`, Fig. 3) or one coarse lock | `add(x)/true ↩ remove(x)`, `remove(x)/true ↩ add(x)` (Fig. 1) |
+//! | [`BoostedRbTreeSet`] | boosted red-black tree (Sec. 4.1) | synchronized sequential RB tree | single two-phase lock | same Set inverses |
+//! | [`BoostedListSet`] | lock-coupling list (Sec. 1) | hand-over-hand locked list | lock per key | same Set inverses |
+//! | [`BoostedPQueue`] | boosted heap (Fig. 5) | Hunt-style concurrent heap | readers-writer: `add` shared, `remove_min` exclusive | `add ↩` mark Holder deleted; `remove_min/x ↩ add(x)` (Fig. 4) |
+//! | [`BoostedBlockingQueue`] | pipeline `BlockingQueue` (Fig. 7) | blocking deque + 2 [`TSemaphore`]s | semaphore gating (state-dependent commutativity) | `offer ↩ take_last`, `take/x ↩ offer_first(x)` (Fig. 6) |
+//! | [`TSemaphore`] | transactional semaphore (Sec. 3.3.1) | counter + condvar | — | `acquire ↩ release`; `release` is **disposable**, deferred to commit |
+//! | [`UniqueIdGen`] | unique-ID generator (Fig. 8) | fetch-and-add counter | none needed — `assignID()/x ⇔ assignID()/y` | `assignID ↩ noop`; post-abort **disposable** `releaseID(x)` |
+//! | [`BoostedHashMap`] | collection-class methodology | striped hash map | lock per key | `put ↩` restore previous binding, etc. |
+//! | [`BoostedStack`] | collection-class methodology | Treiber stack | single lock (no two mutations commute) | `push ↩ pop`, `pop/x ↩ push(x)` |
+//! | [`BoostedCounter`] | commutativity showcase | striped counter | readers-writer: `add` shared, `get` exclusive | `add(n) ↩ add(-n)` |
+//! | [`BoostedSkipListMap`] | black-box reuse showcase | lazy skip-list map | lock per key | `put ↩` restore previous binding |
+//! | [`BoostedRefCount`] | Section 2 reference counts | atomic counter | none — see module docs | `incr ↩ decr`; `decr` **disposable**, batched optionally |
+//! | [`TxSlabAlloc`] | Section 2 transactional malloc/free | concurrent slab | none — distinct allocations commute | `alloc ↩ free`; `free` **disposable** |
+//!
+//! Every method takes a [`txboost_core::Txn`] and returns
+//! [`txboost_core::TxResult`]; run them under
+//! [`txboost_core::TxnManager::run`]:
+//!
+//! ```
+//! use txboost_core::TxnManager;
+//! use txboost_collections::BoostedSkipListSet;
+//!
+//! let tm = TxnManager::default();
+//! let set = BoostedSkipListSet::new();
+//! let changed = tm.run(|txn| {
+//!     set.add(txn, 2)?;
+//!     set.add(txn, 4)
+//! }).unwrap();
+//! assert!(changed);
+//! assert!(tm.run(|txn| set.contains(txn, &2)).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+mod alloc;
+mod counter;
+mod idgen;
+mod map;
+mod pqueue;
+mod queue;
+mod rbtree_set;
+mod refcount;
+mod semaphore;
+mod set;
+mod sorted_map;
+mod stack;
+
+pub use alloc::TxSlabAlloc;
+pub use counter::BoostedCounter;
+pub use idgen::{ReleasePolicy, UniqueIdGen};
+pub use map::BoostedHashMap;
+pub use pqueue::BoostedPQueue;
+pub use queue::BoostedBlockingQueue;
+pub use rbtree_set::BoostedRbTreeSet;
+pub use refcount::{BoostedRefCount, DecrPolicy};
+pub use semaphore::TSemaphore;
+pub use set::{BoostedListSet, BoostedSkipListSet};
+pub use sorted_map::BoostedSkipListMap;
+pub use stack::BoostedStack;

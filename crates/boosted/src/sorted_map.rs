@@ -1,0 +1,187 @@
+//! A boosted transactional *sorted* map.
+//!
+//! The same wrapper shape as [`crate::BoostedHashMap`] over a
+//! completely different black-box base object — the lazy skip-list map
+//! — demonstrating the methodology's reuse claim: the abstract-lock
+//! discipline and inverses depend only on the *specification* (a map),
+//! so swapping the base changes nothing in the boosting layer while
+//! adding ordered iteration of the committed state.
+
+use std::hash::Hash;
+use std::sync::Arc;
+use txboost_core::locks::KeyLockMap;
+use txboost_core::{TxResult, Txn};
+use txboost_linearizable::LazySkipListMap;
+
+/// A transactional sorted key-value map boosted from the skip-list map.
+///
+/// # Example
+///
+/// ```
+/// use txboost_core::TxnManager;
+/// use txboost_collections::BoostedSkipListMap;
+///
+/// let tm = TxnManager::default();
+/// let m = BoostedSkipListMap::new();
+/// tm.run(|t| { m.put(t, 2, "b")?; m.put(t, 1, "a") }).unwrap();
+/// assert_eq!(m.snapshot(), vec![(1, "a"), (2, "b")]);
+/// ```
+#[derive(Debug)]
+pub struct BoostedSkipListMap<K: 'static, V: 'static> {
+    base: Arc<LazySkipListMap<K, V>>,
+    locks: KeyLockMap<K>,
+}
+
+impl<K, V> Default for BoostedSkipListMap<K, V>
+where
+    K: Ord + Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        BoostedSkipListMap::new()
+    }
+}
+
+impl<K, V> BoostedSkipListMap<K, V>
+where
+    K: Ord + Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// An empty map.
+    pub fn new() -> Self {
+        BoostedSkipListMap {
+            base: Arc::new(LazySkipListMap::new()),
+            locks: KeyLockMap::new(),
+        }
+    }
+
+    /// Transactionally bind `key` to `value`, returning the previous
+    /// value. Inverse: restore the previous binding.
+    pub fn put(&self, txn: &Txn, key: K, value: V) -> TxResult<Option<V>> {
+        self.locks.lock(txn, &key)?;
+        let previous = self.base.insert(key.clone(), value);
+        let base = Arc::clone(&self.base);
+        let prev_clone = previous.clone();
+        txn.log_undo(move || {
+            match prev_clone {
+                Some(old) => {
+                    base.insert(key, old);
+                }
+                None => {
+                    base.remove(&key);
+                }
+            };
+        });
+        Ok(previous)
+    }
+
+    /// Transactionally remove `key`, returning its value. Inverse:
+    /// re-insert the removed binding.
+    pub fn remove(&self, txn: &Txn, key: &K) -> TxResult<Option<V>> {
+        self.locks.lock(txn, key)?;
+        let removed = self.base.remove(key);
+        if let Some(old) = removed.clone() {
+            let base = Arc::clone(&self.base);
+            let key = key.clone();
+            txn.log_undo(move || {
+                base.insert(key, old);
+            });
+        }
+        Ok(removed)
+    }
+
+    /// Transactionally read `key`'s value.
+    pub fn get(&self, txn: &Txn, key: &K) -> TxResult<Option<V>> {
+        self.locks.lock(txn, key)?;
+        Ok(self.base.get(key))
+    }
+
+    /// Transactionally test for `key`.
+    pub fn contains_key(&self, txn: &Txn, key: &K) -> TxResult<bool> {
+        self.locks.lock(txn, key)?;
+        Ok(self.base.contains_key(key))
+    }
+
+    /// Committed-state entry count (diagnostic; exact at quiescence).
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the committed state is empty (same caveat).
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Ascending `(key, value)` snapshot of the committed state — the
+    /// capability the hash-map variant cannot offer (same caveat).
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        self.base.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txboost_core::{Abort, TxnManager};
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let tm = TxnManager::default();
+        let m = BoostedSkipListMap::new();
+        assert_eq!(tm.run(|t| m.put(t, 3, "c")).unwrap(), None);
+        assert_eq!(tm.run(|t| m.put(t, 3, "c2")).unwrap(), Some("c"));
+        assert_eq!(tm.run(|t| m.get(t, &3)).unwrap(), Some("c2"));
+        assert!(tm.run(|t| m.contains_key(t, &3)).unwrap());
+        assert_eq!(tm.run(|t| m.remove(t, &3)).unwrap(), Some("c2"));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_key_ordered() {
+        let tm = TxnManager::default();
+        let m = BoostedSkipListMap::new();
+        tm.run(|t| {
+            m.put(t, 5, "e")?;
+            m.put(t, 1, "a")?;
+            m.put(t, 3, "c")
+        })
+        .unwrap();
+        assert_eq!(m.snapshot(), vec![(1, "a"), (3, "c"), (5, "e")]);
+    }
+
+    #[test]
+    fn abort_restores_bindings() {
+        let tm = TxnManager::default();
+        let m = BoostedSkipListMap::new();
+        tm.run(|t| m.put(t, 1, 10)).unwrap();
+        let r: Result<(), _> = tm.run(|t| {
+            m.put(t, 1, 99)?;
+            m.put(t, 2, 20)?;
+            m.remove(t, &1)?;
+            Err(Abort::explicit())
+        });
+        assert!(r.is_err());
+        assert_eq!(m.snapshot(), vec![(1, 10)]);
+    }
+
+    #[test]
+    fn disjoint_keys_never_conflict() {
+        let tm = std::sync::Arc::new(TxnManager::default());
+        let m = std::sync::Arc::new(BoostedSkipListMap::new());
+        crossbeam::scope(|s| {
+            for th in 0..8i64 {
+                let (tm, m) = (std::sync::Arc::clone(&tm), std::sync::Arc::clone(&m));
+                s.spawn(move |_| {
+                    for i in 0..200 {
+                        tm.run(|t| m.put(t, th * 1000 + i, i)).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(tm.stats().snapshot().aborted, 0);
+        assert_eq!(m.len(), 1600);
+        let snap = m.snapshot();
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "not key-sorted");
+    }
+}

@@ -1,0 +1,144 @@
+//! A boosted transactional stack.
+//!
+//! An instructive *negative* case for the methodology's commutativity
+//! analysis: a stack's `push` and `pop` never commute with each other
+//! (every operation observes or determines the top), so the most
+//! precise correct abstract-lock discipline is a single lock — boosting
+//! gives recovery-by-inverse and black-box reuse of the lock-free base
+//! object, but no transaction-level parallelism. Contrast with
+//! [`crate::BoostedSkipListSet`], where almost everything commutes.
+
+use std::sync::Arc;
+use txboost_core::locks::TxMutex;
+use txboost_core::{TxResult, Txn};
+use txboost_linearizable::ConcurrentStack;
+
+/// A transactional LIFO stack boosted from the Treiber stack.
+#[derive(Debug)]
+pub struct BoostedStack<T: Send + 'static> {
+    base: Arc<ConcurrentStack<T>>,
+    lock: TxMutex,
+}
+
+impl<T: Clone + Send + Sync + 'static> Default for BoostedStack<T> {
+    fn default() -> Self {
+        BoostedStack::new()
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> BoostedStack<T> {
+    /// An empty stack.
+    pub fn new() -> Self {
+        BoostedStack {
+            base: Arc::new(ConcurrentStack::new()),
+            lock: TxMutex::new(),
+        }
+    }
+
+    /// Transactionally push `value`; inverse is `pop()`.
+    pub fn push(&self, txn: &Txn, value: T) -> TxResult<()> {
+        self.lock.lock(txn)?;
+        self.base.push(value);
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.pop().expect("inverse pop found an empty stack");
+        });
+        Ok(())
+    }
+
+    /// Transactionally pop; inverse is `push(popped value)`.
+    pub fn pop(&self, txn: &Txn) -> TxResult<Option<T>> {
+        self.lock.lock(txn)?;
+        let popped = self.base.pop();
+        if let Some(v) = popped.clone() {
+            let base = Arc::clone(&self.base);
+            txn.log_undo(move || {
+                base.push(v);
+            });
+        }
+        Ok(popped)
+    }
+
+    /// Whether the committed stack is empty (diagnostic; racy).
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txboost_core::{Abort, TxnConfig, TxnManager};
+
+    #[test]
+    fn lifo_semantics_across_transactions() {
+        let tm = TxnManager::default();
+        let s = BoostedStack::new();
+        tm.run(|t| {
+            s.push(t, 1)?;
+            s.push(t, 2)
+        })
+        .unwrap();
+        assert_eq!(tm.run(|t| s.pop(t)).unwrap(), Some(2));
+        assert_eq!(tm.run(|t| s.pop(t)).unwrap(), Some(1));
+        assert_eq!(tm.run(|t| s.pop(t)).unwrap(), None);
+    }
+
+    #[test]
+    fn abort_restores_stack_order() {
+        let tm = TxnManager::new(TxnConfig {
+            max_retries: Some(0),
+            ..TxnConfig::default()
+        });
+        let s = BoostedStack::new();
+        tm.run(|t| {
+            s.push(t, 1)?;
+            s.push(t, 2)
+        })
+        .unwrap();
+        let r: Result<(), _> = tm.run(|t| {
+            assert_eq!(s.pop(t)?, Some(2));
+            s.push(t, 99)?;
+            assert_eq!(s.pop(t)?, Some(99));
+            Err(Abort::explicit())
+        });
+        assert!(r.is_err());
+        assert_eq!(tm.run(|t| s.pop(t)).unwrap(), Some(2));
+        assert_eq!(tm.run(|t| s.pop(t)).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn concurrent_transactions_conserve_elements() {
+        let tm = std::sync::Arc::new(TxnManager::default());
+        let s = std::sync::Arc::new(BoostedStack::new());
+        let popped = std::sync::Mutex::new(Vec::new());
+        crossbeam::scope(|sc| {
+            for th in 0..4i64 {
+                let (tm, s) = (std::sync::Arc::clone(&tm), std::sync::Arc::clone(&s));
+                let popped = &popped;
+                sc.spawn(move |_| {
+                    for i in 0..200 {
+                        tm.run(|t| s.push(t, th * 1000 + i)).unwrap();
+                        if i % 2 == 0 {
+                            if let Some(v) = tm.run(|t| s.pop(t)).unwrap() {
+                                popped.lock().unwrap().push(v);
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let mut all = popped.into_inner().unwrap();
+        while let Some(v) = tm.run(|t| s.pop(t)).unwrap() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        let expected: Vec<i64> = (0..4)
+            .flat_map(|th| (0..200).map(move |i| th * 1000 + i))
+            .collect();
+        let mut expected = expected;
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+}

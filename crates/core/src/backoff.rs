@@ -1,0 +1,90 @@
+//! Randomized exponential backoff between transaction retries.
+
+use rand::Rng;
+use std::time::Duration;
+
+/// Randomized exponential backoff.
+///
+/// After an abort, the paper's runtime delays the retry to reduce the
+/// chance that the same transactions collide on the same abstract locks
+/// again. Each failure doubles the ceiling (up to `max`), and the actual
+/// sleep is drawn uniformly from `[0, ceiling)` to break symmetry
+/// between identical competitors.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    ceiling: Duration,
+    max: Duration,
+}
+
+impl Backoff {
+    /// Create a backoff whose first ceiling is `min` and which never
+    /// exceeds `max`.
+    pub fn new(min: Duration, max: Duration) -> Self {
+        assert!(!min.is_zero(), "backoff minimum must be non-zero");
+        assert!(min <= max, "backoff minimum must not exceed maximum");
+        Backoff { ceiling: min, max }
+    }
+
+    /// Sleep for a random duration below the current ceiling, then
+    /// double the ceiling (saturating at the maximum).
+    pub fn backoff(&mut self) {
+        let nanos = self.ceiling.as_nanos() as u64;
+        let jittered = rand::rng().random_range(0..nanos.max(1));
+        let sleep = Duration::from_nanos(jittered);
+        if !sleep.is_zero() {
+            // For very short waits, spinning is cheaper and more precise
+            // than descheduling the thread.
+            if sleep < Duration::from_micros(50) {
+                let start = std::time::Instant::now();
+                while start.elapsed() < sleep {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::sleep(sleep);
+            }
+        }
+        self.ceiling = (self.ceiling * 2).min(self.max);
+    }
+
+    /// The current ceiling (mostly useful for tests and telemetry).
+    pub fn ceiling(&self) -> Duration {
+        self.ceiling
+    }
+}
+
+impl Default for Backoff {
+    /// A default suitable for in-memory transactions: 5 µs initial
+    /// ceiling, 1 ms maximum.
+    fn default() -> Self {
+        Backoff::new(Duration::from_micros(5), Duration::from_millis(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceiling_doubles_and_saturates() {
+        let mut b = Backoff::new(Duration::from_nanos(100), Duration::from_nanos(350));
+        assert_eq!(b.ceiling(), Duration::from_nanos(100));
+        b.backoff();
+        assert_eq!(b.ceiling(), Duration::from_nanos(200));
+        b.backoff();
+        assert_eq!(b.ceiling(), Duration::from_nanos(350));
+        b.backoff();
+        assert_eq!(b.ceiling(), Duration::from_nanos(350));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_minimum_rejected() {
+        let _ = Backoff::new(Duration::ZERO, Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn inverted_bounds_rejected() {
+        let _ = Backoff::new(Duration::from_millis(2), Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,207 @@
+//! The basic owner-tracked, transaction-reentrant, timeout lock.
+
+use super::HeldLock;
+use crate::{Abort, TxResult, Txn, TxnId};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Result of a single acquisition attempt (diagnostics and internal
+/// bookkeeping; most callers use [`AbstractLock::acquire`], which maps
+/// timeouts to [`Abort`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// The lock was free (or became free in time) and is now owned by
+    /// the requesting transaction.
+    Acquired,
+    /// The requesting transaction already owned the lock; nothing to do
+    /// (abstract locks are reentrant *per transaction*, not per thread).
+    AlreadyHeld,
+    /// Another transaction held the lock for the whole timeout window.
+    TimedOut,
+}
+
+/// A mutual-exclusion abstract lock owned by at most one transaction.
+///
+/// This is the building block from which [`super::KeyLockMap`] (the
+/// paper's `LockKey`) and [`super::TxMutex`] are made. Unlike an OS
+/// mutex it is:
+///
+/// * **transaction-owned** — the owner is a [`TxnId`], not a thread, so
+///   a transaction may re-acquire a lock it already holds no matter how
+///   its code paths are composed;
+/// * **two-phase** — the acquiring transaction registers the lock via
+///   [`Txn::register_held_lock`]; release happens only at commit/abort;
+/// * **timeout-based** — a blocked acquisition gives up after
+///   [`Txn::lock_timeout`] and aborts the transaction, breaking any
+///   deadlock cycle.
+#[derive(Debug, Default)]
+pub struct AbstractLock {
+    owner: Mutex<Option<TxnId>>,
+    cv: Condvar,
+}
+
+impl AbstractLock {
+    /// A fresh, unowned lock.
+    pub fn new() -> Self {
+        AbstractLock::default()
+    }
+
+    /// Acquire for `txn`, registering with the transaction on success
+    /// so that release happens automatically at commit/abort.
+    ///
+    /// Returns `Err(Abort::lock_timeout())` if another transaction held
+    /// the lock for the entire timeout window.
+    pub fn acquire(self: &Arc<Self>, txn: &Txn) -> TxResult<()> {
+        match self.try_acquire_raw(txn.id(), txn.lock_timeout()) {
+            AcquireOutcome::Acquired => {
+                txn.register_held_lock(Arc::clone(self) as Arc<dyn HeldLock>);
+                Ok(())
+            }
+            AcquireOutcome::AlreadyHeld => Ok(()),
+            AcquireOutcome::TimedOut => Err(Abort::lock_timeout()),
+        }
+    }
+
+    /// Low-level acquisition without transaction registration. Exposed
+    /// for tests and for lock disciplines built on top of this one.
+    pub fn try_acquire_raw(&self, id: TxnId, timeout: std::time::Duration) -> AcquireOutcome {
+        let deadline = Instant::now() + timeout;
+        let mut owner = self.owner.lock();
+        loop {
+            match *owner {
+                None => {
+                    *owner = Some(id);
+                    return AcquireOutcome::Acquired;
+                }
+                Some(o) if o == id => return AcquireOutcome::AlreadyHeld,
+                Some(_) => {
+                    if self.cv.wait_until(&mut owner, deadline).timed_out() {
+                        // Re-check: the owner may have released exactly
+                        // at the deadline.
+                        if owner.is_none() {
+                            *owner = Some(id);
+                            return AcquireOutcome::Acquired;
+                        }
+                        return AcquireOutcome::TimedOut;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The transaction currently owning the lock, if any.
+    pub fn owner(&self) -> Option<TxnId> {
+        *self.owner.lock()
+    }
+}
+
+impl HeldLock for AbstractLock {
+    fn release(&self, id: TxnId) {
+        let mut owner = self.owner.lock();
+        if *owner == Some(id) {
+            *owner = None;
+            // Several transactions may be blocked; they race for the
+            // lock when woken, losers go back to sleep.
+            self.cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TxnConfig, TxnManager};
+    use std::time::Duration;
+
+    fn manager(timeout_ms: u64) -> TxnManager {
+        TxnManager::new(TxnConfig {
+            lock_timeout: Duration::from_millis(timeout_ms),
+            max_retries: Some(0),
+            ..TxnConfig::default()
+        })
+    }
+
+    #[test]
+    fn acquire_registers_and_releases_on_commit() {
+        let tm = manager(50);
+        let lock = Arc::new(AbstractLock::new());
+        let txn = tm.begin();
+        lock.acquire(&txn).unwrap();
+        assert_eq!(lock.owner(), Some(txn.id()));
+        assert_eq!(txn.held_lock_count(), 1);
+        tm.commit(txn);
+        assert_eq!(lock.owner(), None);
+    }
+
+    #[test]
+    fn reentrant_acquire_registers_once() {
+        let tm = manager(50);
+        let lock = Arc::new(AbstractLock::new());
+        let txn = tm.begin();
+        lock.acquire(&txn).unwrap();
+        lock.acquire(&txn).unwrap();
+        assert_eq!(txn.held_lock_count(), 1);
+        tm.commit(txn);
+        assert_eq!(lock.owner(), None);
+    }
+
+    #[test]
+    fn contended_acquire_times_out_with_abort() {
+        let tm = manager(5);
+        let lock = Arc::new(AbstractLock::new());
+        let holder = tm.begin();
+        lock.acquire(&holder).unwrap();
+
+        let waiter = tm.begin();
+        let err = lock.acquire(&waiter).unwrap_err();
+        assert_eq!(err, Abort::lock_timeout());
+        // The loser holds nothing new.
+        assert_eq!(waiter.held_lock_count(), 0);
+        tm.commit(holder);
+        tm.abort(waiter, crate::AbortReason::LockTimeout);
+    }
+
+    #[test]
+    fn release_is_noop_for_non_owner() {
+        let tm = manager(50);
+        let lock = Arc::new(AbstractLock::new());
+        let a = tm.begin();
+        let b = tm.begin();
+        lock.acquire(&a).unwrap();
+        // b never acquired; releasing on b's behalf must not free a's lock.
+        lock.release(b.id());
+        assert_eq!(lock.owner(), Some(a.id()));
+        tm.commit(a);
+        tm.commit(b);
+    }
+
+    #[test]
+    fn waiter_wakes_when_owner_commits() {
+        let tm = Arc::new(manager(1_000));
+        let lock = Arc::new(AbstractLock::new());
+        let holder = tm.begin();
+        lock.acquire(&holder).unwrap();
+
+        let (tm2, lock2) = (Arc::clone(&tm), Arc::clone(&lock));
+        let waiter = std::thread::spawn(move || {
+            let txn = tm2.begin();
+            let r = lock2.acquire(&txn);
+            tm2.commit(txn);
+            r
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        tm.commit(holder); // releases the lock, wakes the waiter
+        assert!(waiter.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn abort_releases_lock_too() {
+        let tm = manager(50);
+        let lock = Arc::new(AbstractLock::new());
+        let txn = tm.begin();
+        lock.acquire(&txn).unwrap();
+        tm.abort(txn, crate::AbortReason::Explicit);
+        assert_eq!(lock.owner(), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Runtime counters: commits, aborts, lock timeouts.
+//!
+//! The paper's evaluation attributes much of boosting's advantage to a
+//! far lower abort rate than read/write-conflict STMs; these counters
+//! are what the benchmark harness reads to reproduce that comparison.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, lock-free counters maintained by a [`crate::TxnManager`].
+///
+/// All counters use relaxed atomics: they are statistics, not
+/// synchronization, and must never perturb the measured code paths.
+#[derive(Debug, Default)]
+pub struct TxnStats {
+    started: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    lock_timeouts: AtomicU64,
+    explicit_aborts: AtomicU64,
+    conflict_aborts: AtomicU64,
+    would_block_aborts: AtomicU64,
+}
+
+impl TxnStats {
+    /// Count one transaction attempt. Public so that sibling runtimes
+    /// (e.g. the read/write STM baseline) can reuse these counters.
+    pub fn record_start(&self) {
+        self.started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one commit.
+    pub fn record_commit(&self) {
+        self.committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one abort, attributed to `reason`.
+    pub fn record_abort(&self, reason: crate::AbortReason) {
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+        let c = match reason {
+            crate::AbortReason::LockTimeout => &self.lock_timeouts,
+            crate::AbortReason::Explicit => &self.explicit_aborts,
+            crate::AbortReason::Conflict => &self.conflict_aborts,
+            crate::AbortReason::WouldBlock => &self.would_block_aborts,
+            crate::AbortReason::Other => return,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> TxnStatsSnapshot {
+        TxnStatsSnapshot {
+            started: self.started.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            lock_timeouts: self.lock_timeouts.load(Ordering::Relaxed),
+            explicit_aborts: self.explicit_aborts.load(Ordering::Relaxed),
+            conflict_aborts: self.conflict_aborts.load(Ordering::Relaxed),
+            would_block_aborts: self.would_block_aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`TxnStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TxnStatsSnapshot {
+    /// Transaction attempts started (each retry counts as a new start).
+    pub started: u64,
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transaction attempts that aborted (for any reason).
+    pub aborted: u64,
+    /// Aborts caused by abstract-lock acquisition timeouts.
+    pub lock_timeouts: u64,
+    /// Aborts requested explicitly by user code.
+    pub explicit_aborts: u64,
+    /// Aborts caused by read/write conflicts (baseline STM only).
+    pub conflict_aborts: u64,
+    /// Aborts caused by conditional-synchronization timeouts.
+    pub would_block_aborts: u64,
+}
+
+impl TxnStatsSnapshot {
+    /// Aborts per committed transaction — the paper's "wasted work"
+    /// indicator. Returns 0.0 when nothing has committed.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / self.committed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AbortReason;
+
+    #[test]
+    fn counters_accumulate_by_reason() {
+        let s = TxnStats::default();
+        s.record_start();
+        s.record_start();
+        s.record_commit();
+        s.record_abort(AbortReason::LockTimeout);
+        s.record_abort(AbortReason::Explicit);
+        s.record_abort(AbortReason::Conflict);
+        s.record_abort(AbortReason::WouldBlock);
+        let snap = s.snapshot();
+        assert_eq!(snap.started, 2);
+        assert_eq!(snap.committed, 1);
+        assert_eq!(snap.aborted, 4);
+        assert_eq!(snap.lock_timeouts, 1);
+        assert_eq!(snap.explicit_aborts, 1);
+        assert_eq!(snap.conflict_aborts, 1);
+        assert_eq!(snap.would_block_aborts, 1);
+    }
+
+    #[test]
+    fn abort_ratio_handles_zero_commits() {
+        let snap = TxnStatsSnapshot::default();
+        assert_eq!(snap.abort_ratio(), 0.0);
+        let snap = TxnStatsSnapshot {
+            committed: 4,
+            aborted: 6,
+            ..Default::default()
+        };
+        assert!((snap.abort_ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn other_reason_counts_only_in_total() {
+        let s = TxnStats::default();
+        s.record_abort(AbortReason::Other);
+        let snap = s.snapshot();
+        assert_eq!(snap.aborted, 1);
+        assert_eq!(
+            snap.lock_timeouts
+                + snap.explicit_aborts
+                + snap.conflict_aborts
+                + snap.would_block_aborts,
+            0
+        );
+    }
+}

@@ -1,0 +1,800 @@
+//! Transactions and the transaction manager.
+
+use crate::error::{Abort, AbortReason, TxnError};
+use crate::locks::HeldLock;
+use crate::stats::TxnStats;
+use crate::{Backoff, TxResult};
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::marker::PhantomData;
+use std::num::NonZeroU64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Globally unique transaction identifier.
+///
+/// Abstract locks record the `TxnId` of their owner, which is how
+/// per-transaction reentrancy (as opposed to per-thread reentrancy) is
+/// implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(NonZeroU64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Executing user code; may still log inverses and acquire locks.
+    Active,
+    /// Committed: undo log discarded, locks released, on-commit
+    /// disposables executed.
+    Committed,
+    /// Aborted: undo log replayed in reverse, locks released, on-abort
+    /// disposables executed.
+    Aborted,
+}
+
+/// Tuning knobs for a [`TxnManager`].
+#[derive(Debug, Clone)]
+pub struct TxnConfig {
+    /// How long an abstract-lock acquisition may block before the
+    /// requesting transaction aborts (the paper's `LOCK_TIMEOUT`).
+    /// Timeouts are the deadlock-recovery mechanism for two-phase
+    /// abstract locking.
+    pub lock_timeout: Duration,
+    /// Retry budget for [`TxnManager::run`]. `None` retries forever,
+    /// which matches the paper's experimental setup.
+    pub max_retries: Option<u64>,
+    /// Initial ceiling for randomized exponential backoff between
+    /// retries.
+    pub backoff_min: Duration,
+    /// Maximum backoff ceiling.
+    pub backoff_max: Duration,
+}
+
+impl Default for TxnConfig {
+    fn default() -> Self {
+        TxnConfig {
+            lock_timeout: Duration::from_millis(10),
+            max_retries: None,
+            backoff_min: Duration::from_micros(5),
+            backoff_max: Duration::from_millis(1),
+        }
+    }
+}
+
+type Action = Box<dyn FnOnce() + Send>;
+
+/// A high-water mark in a transaction's logs; see [`Txn::savepoint`].
+#[derive(Debug, Clone, Copy)]
+pub struct Savepoint {
+    txn: TxnId,
+    undo_len: usize,
+    on_commit_len: usize,
+    on_abort_len: usize,
+}
+
+/// A running transaction.
+///
+/// A `Txn` is handed to the closure passed to [`TxnManager::run`] (or
+/// created manually with [`TxnManager::begin`]). Boosted objects use it
+/// to:
+///
+/// * acquire **abstract locks** (via [`crate::locks`]), which are held
+///   until the transaction commits or aborts (strict two-phase locking);
+/// * log **inverses** with [`Txn::log_undo`] — on abort these run in
+///   reverse (LIFO) order, per the paper's Rule 3;
+/// * defer **disposable** calls with [`Txn::defer_on_commit`] /
+///   [`Txn::defer_on_abort`] — these run after the transaction's fate is
+///   decided, per Rule 4.
+///
+/// A `Txn` is deliberately neither `Send` nor `Sync`: it belongs to the
+/// thread executing the transaction. The closures it stores must be
+/// `Send + 'static` because they capture shared base objects (`Arc`s)
+/// and logged values by move.
+pub struct Txn {
+    id: TxnId,
+    state: Cell<TxnState>,
+    undo_log: RefCell<Vec<Action>>,
+    on_commit: RefCell<Vec<Action>>,
+    on_abort: RefCell<Vec<Action>>,
+    held_locks: RefCell<Vec<Arc<dyn HeldLock>>>,
+    lock_timeout: Duration,
+    /// Opt out of Send/Sync: a transaction is thread-confined.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl fmt::Debug for Txn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Txn")
+            .field("id", &self.id)
+            .field("state", &self.state.get())
+            .field("undo_entries", &self.undo_log.borrow().len())
+            .field("held_locks", &self.held_locks.borrow().len())
+            .finish()
+    }
+}
+
+impl Txn {
+    fn new(id: TxnId, lock_timeout: Duration) -> Self {
+        Txn {
+            id,
+            state: Cell::new(TxnState::Active),
+            undo_log: RefCell::new(Vec::new()),
+            on_commit: RefCell::new(Vec::new()),
+            on_abort: RefCell::new(Vec::new()),
+            held_locks: RefCell::new(Vec::new()),
+            lock_timeout,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// This transaction's globally unique id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TxnState {
+        self.state.get()
+    }
+
+    /// The lock-acquisition timeout this transaction was configured
+    /// with; abstract locks consult it when blocking.
+    pub fn lock_timeout(&self) -> Duration {
+        self.lock_timeout
+    }
+
+    /// Log the inverse of a method call that just completed.
+    ///
+    /// If the transaction aborts, logged inverses run in reverse order
+    /// of logging while the transaction still holds its abstract locks
+    /// (no *new* locks are required to abort — Lemma 5.2 in the paper
+    /// guarantees inverses commute with all live operations).
+    ///
+    /// # Panics
+    /// Panics if the transaction is no longer active.
+    pub fn log_undo(&self, inverse: impl FnOnce() + Send + 'static) {
+        self.assert_active("log_undo");
+        self.undo_log.borrow_mut().push(Box::new(inverse));
+    }
+
+    /// Defer a *disposable* method call until after commit.
+    ///
+    /// Disposable calls (Definition 5.5) commute with everything that
+    /// can legally follow, so they may be postponed arbitrarily — e.g. a
+    /// transactional semaphore's `release`, or returning an ID to a
+    /// pool. Actions run in the order they were deferred, after the
+    /// transaction's locks are released.
+    ///
+    /// # Panics
+    /// Panics if the transaction is no longer active.
+    pub fn defer_on_commit(&self, action: impl FnOnce() + Send + 'static) {
+        self.assert_active("defer_on_commit");
+        self.on_commit.borrow_mut().push(Box::new(action));
+    }
+
+    /// Defer a *disposable* method call until after the transaction has
+    /// finished aborting (e.g. `releaseID(x)` after an abort in the
+    /// unique-ID-generator example). Runs after inverses have been
+    /// replayed and locks released; never runs if the transaction
+    /// commits.
+    ///
+    /// # Panics
+    /// Panics if the transaction is no longer active.
+    pub fn defer_on_abort(&self, action: impl FnOnce() + Send + 'static) {
+        self.assert_active("defer_on_abort");
+        self.on_abort.borrow_mut().push(Box::new(action));
+    }
+
+    /// Request an explicit abort. Returns the [`Abort`] token to
+    /// propagate with `?` (or `return Err(...)`).
+    pub fn abort(&self) -> Abort {
+        Abort::explicit()
+    }
+
+    /// Mark the current extent of the transaction's logs, for partial
+    /// rollback via [`Txn::rollback_to`]. Savepoints nest naturally
+    /// (each is just a high-water mark); most callers will prefer the
+    /// structured [`Txn::nested`].
+    pub fn savepoint(&self) -> Savepoint {
+        Savepoint {
+            txn: self.id,
+            undo_len: self.undo_log.borrow().len(),
+            on_commit_len: self.on_commit.borrow().len(),
+            on_abort_len: self.on_abort.borrow().len(),
+        }
+    }
+
+    /// Undo everything logged since `sp`: replay the undo-log suffix in
+    /// reverse and discard deferred actions registered since the
+    /// savepoint. **Abstract locks acquired since the savepoint remain
+    /// held** — releasing mid-transaction would violate two-phase
+    /// locking; holding them is merely conservative (Rule 2 still
+    /// holds).
+    ///
+    /// # Panics
+    /// Panics if `sp` came from a different transaction, if the
+    /// transaction is no longer active, or if `sp` is stale (a
+    /// rollback already passed it).
+    pub fn rollback_to(&self, sp: Savepoint) {
+        self.assert_active("rollback_to");
+        assert_eq!(sp.txn, self.id, "savepoint from a different transaction");
+        {
+            let mut undo = self.undo_log.borrow_mut();
+            assert!(
+                sp.undo_len <= undo.len(),
+                "stale savepoint: undo log already shorter"
+            );
+            let suffix: Vec<Action> = undo.split_off(sp.undo_len);
+            drop(undo); // inverses may log nothing but must not alias the borrow
+            for inv in suffix.into_iter().rev() {
+                inv();
+            }
+        }
+        self.on_commit.borrow_mut().truncate(sp.on_commit_len);
+        self.on_abort.borrow_mut().truncate(sp.on_abort_len);
+    }
+
+    /// Run `body` as a *closed nested* transaction: if it returns
+    /// `Err`, every effect it logged is rolled back (its abstract locks
+    /// stay held) and the error is returned for the parent to handle —
+    /// the parent transaction itself remains active and may continue.
+    ///
+    /// ```
+    /// # use txboost_core::{TxnManager, Abort};
+    /// # let tm = TxnManager::default();
+    /// let result = tm.run(|txn| {
+    ///     // ... parent work ...
+    ///     let attempted = txn.nested(|t| {
+    ///         t.log_undo(|| { /* compensate */ });
+    ///         Err::<(), _>(Abort::explicit()) // give up this sub-step
+    ///     });
+    ///     assert!(attempted.is_err()); // sub-step undone; parent continues
+    ///     Ok(42)
+    /// });
+    /// assert_eq!(result.unwrap(), 42);
+    /// ```
+    pub fn nested<R>(&self, body: impl FnOnce(&Txn) -> TxResult<R>) -> TxResult<R> {
+        let sp = self.savepoint();
+        match body(self) {
+            Ok(v) => Ok(v),
+            Err(abort) => {
+                self.rollback_to(sp);
+                Err(abort)
+            }
+        }
+    }
+
+    /// Number of inverses currently logged (diagnostics/tests).
+    pub fn undo_log_len(&self) -> usize {
+        self.undo_log.borrow().len()
+    }
+
+    /// Number of abstract locks currently registered (diagnostics/tests).
+    pub fn held_lock_count(&self) -> usize {
+        self.held_locks.borrow().len()
+    }
+
+    /// Register a two-phase lock acquired on behalf of this transaction.
+    /// The runtime calls [`HeldLock::release`] exactly once when the
+    /// transaction commits or finishes aborting. Lock implementations in
+    /// [`crate::locks`] call this automatically; it is public so that
+    /// user-defined abstract-lock disciplines can participate too.
+    ///
+    /// # Panics
+    /// Panics if the transaction is no longer active.
+    pub fn register_held_lock(&self, lock: Arc<dyn HeldLock>) {
+        self.assert_active("register_held_lock");
+        self.held_locks.borrow_mut().push(lock);
+    }
+
+    fn assert_active(&self, op: &str) {
+        assert_eq!(
+            self.state.get(),
+            TxnState::Active,
+            "{op} called on a transaction that is no longer active"
+        );
+    }
+
+    /// Commit protocol: discard the undo log, release abstract locks,
+    /// then run deferred on-commit disposables.
+    fn do_commit(&self) {
+        debug_assert_eq!(self.state.get(), TxnState::Active);
+        self.state.set(TxnState::Committed);
+        self.undo_log.borrow_mut().clear();
+        self.on_abort.borrow_mut().clear();
+        self.release_locks();
+        let actions = std::mem::take(&mut *self.on_commit.borrow_mut());
+        for a in actions {
+            a();
+        }
+    }
+
+    /// Abort protocol: replay inverses LIFO *while still holding locks*
+    /// (the paper's discipline — "when every inverse has been executed,
+    /// the transaction releases its locks"), then release locks, then
+    /// run deferred on-abort disposables.
+    fn do_rollback(&self) {
+        debug_assert_eq!(self.state.get(), TxnState::Active);
+        self.state.set(TxnState::Aborted);
+        self.on_commit.borrow_mut().clear();
+        let inverses = std::mem::take(&mut *self.undo_log.borrow_mut());
+        for inv in inverses.into_iter().rev() {
+            inv();
+        }
+        self.release_locks();
+        let actions = std::mem::take(&mut *self.on_abort.borrow_mut());
+        for a in actions {
+            a();
+        }
+    }
+
+    fn release_locks(&self) {
+        let locks = std::mem::take(&mut *self.held_locks.borrow_mut());
+        // Release in reverse acquisition order (not required for
+        // correctness — two-phase locking permits any release order at
+        // end of transaction — but it keeps lock hand-off FIFO-ish).
+        for lock in locks.into_iter().rev() {
+            lock.release(self.id);
+        }
+    }
+}
+
+impl Drop for Txn {
+    /// Panic safety: if user code unwinds out of a transaction closure,
+    /// the transaction still replays its undo log and releases its
+    /// locks, so shared objects are never left inconsistent or
+    /// permanently locked.
+    fn drop(&mut self) {
+        if self.state.get() == TxnState::Active {
+            self.do_rollback();
+        }
+    }
+}
+
+/// Creates, retries, commits and aborts transactions.
+///
+/// One `TxnManager` is shared by all threads participating in a
+/// transactional computation (it is `Send + Sync`); each call to
+/// [`TxnManager::run`] executes one transaction on the calling thread.
+#[derive(Debug)]
+pub struct TxnManager {
+    config: TxnConfig,
+    stats: Arc<TxnStats>,
+}
+
+/// Transaction ids are drawn from one process-wide counter so that ids
+/// are unique even across multiple managers — abstract-lock ownership
+/// is keyed by [`TxnId`], and objects may be shared by transactions
+/// from different managers.
+static NEXT_TXN_ID: AtomicU64 = AtomicU64::new(1);
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        TxnManager::new(TxnConfig::default())
+    }
+}
+
+impl TxnManager {
+    /// Create a manager with the given configuration.
+    pub fn new(config: TxnConfig) -> Self {
+        TxnManager {
+            config,
+            stats: Arc::new(TxnStats::default()),
+        }
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> &TxnConfig {
+        &self.config
+    }
+
+    /// Shared handle to the manager's counters.
+    pub fn stats(&self) -> Arc<TxnStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Run `body` as a transaction, retrying on abort with randomized
+    /// exponential backoff.
+    ///
+    /// The closure may be executed several times; it observes committed
+    /// state only through boosted objects, whose abstract locks and undo
+    /// logs guarantee each attempt starts from a consistent state.
+    ///
+    /// Returns `Ok` with the closure's result once an attempt commits,
+    /// or `Err(TxnError::RetriesExhausted)` if
+    /// [`TxnConfig::max_retries`] is set and exceeded.
+    pub fn run<R>(&self, mut body: impl FnMut(&Txn) -> TxResult<R>) -> Result<R, TxnError> {
+        let mut backoff = Backoff::new(self.config.backoff_min, self.config.backoff_max);
+        let mut attempts: u64 = 0;
+        loop {
+            let txn = self.begin();
+            match body(&txn) {
+                Ok(value) => {
+                    self.commit(txn);
+                    return Ok(value);
+                }
+                Err(abort) => {
+                    self.abort(txn, abort.reason());
+                    // An explicit abort is a decision, not a conflict:
+                    // honour it instead of re-running the closure.
+                    if abort.reason() == AbortReason::Explicit {
+                        return Err(TxnError::ExplicitlyAborted);
+                    }
+                    attempts += 1;
+                    if let Some(max) = self.config.max_retries {
+                        if attempts > max {
+                            return Err(TxnError::RetriesExhausted(abort.reason()));
+                        }
+                    }
+                    backoff.backoff();
+                }
+            }
+        }
+    }
+
+    /// Begin a transaction without the retry loop. Useful for tests,
+    /// history recording, and integrating with external control flow;
+    /// most code should prefer [`TxnManager::run`].
+    pub fn begin(&self) -> Txn {
+        self.stats.record_start();
+        let raw = NEXT_TXN_ID.fetch_add(1, Ordering::Relaxed);
+        let id = TxnId(NonZeroU64::new(raw).expect("transaction id counter overflowed"));
+        Txn::new(id, self.config.lock_timeout)
+    }
+
+    /// Commit a transaction begun with [`TxnManager::begin`].
+    pub fn commit(&self, txn: Txn) {
+        txn.do_commit();
+        self.stats.record_commit();
+    }
+
+    /// Abort a transaction begun with [`TxnManager::begin`]: replay its
+    /// undo log, release its locks, run its on-abort disposables.
+    pub fn abort(&self, txn: Txn, reason: AbortReason) {
+        txn.do_rollback();
+        self.stats.record_abort(reason);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicI64;
+    use std::sync::Mutex;
+
+    #[test]
+    fn commit_runs_on_commit_actions_in_order() {
+        let tm = TxnManager::default();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o1, o2) = (order.clone(), order.clone());
+        tm.run(move |txn| {
+            let (o1, o2) = (o1.clone(), o2.clone());
+            txn.defer_on_commit(move || o1.lock().unwrap().push(1));
+            txn.defer_on_commit(move || o2.lock().unwrap().push(2));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(*order.lock().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn abort_replays_undo_log_in_reverse() {
+        let tm = TxnManager::new(TxnConfig {
+            max_retries: Some(0),
+            ..TxnConfig::default()
+        });
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = order.clone();
+        let res: Result<(), TxnError> = tm.run(move |txn| {
+            let (a, b) = (o.clone(), o.clone());
+            txn.log_undo(move || a.lock().unwrap().push("first-logged"));
+            txn.log_undo(move || b.lock().unwrap().push("second-logged"));
+            Err(Abort::explicit())
+        });
+        assert!(matches!(res, Err(TxnError::ExplicitlyAborted)));
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["second-logged", "first-logged"]
+        );
+    }
+
+    #[test]
+    fn abort_runs_on_abort_but_not_on_commit() {
+        let tm = TxnManager::new(TxnConfig {
+            max_retries: Some(0),
+            ..TxnConfig::default()
+        });
+        let count = Arc::new(AtomicI64::new(0));
+        let c = count.clone();
+        let _ = tm.run(move |txn| {
+            let inc = c.clone();
+            txn.defer_on_abort(move || {
+                inc.fetch_add(1, Ordering::SeqCst);
+            });
+            let dec = c.clone();
+            txn.defer_on_commit(move || {
+                dec.fetch_add(-100, Ordering::SeqCst);
+            });
+            Err::<(), _>(Abort::explicit())
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn commit_discards_undo_log_and_on_abort() {
+        let tm = TxnManager::default();
+        let count = Arc::new(AtomicI64::new(0));
+        let c = count.clone();
+        tm.run(move |txn| {
+            let u = c.clone();
+            txn.log_undo(move || {
+                u.fetch_add(1, Ordering::SeqCst);
+            });
+            let a = c.clone();
+            txn.defer_on_abort(move || {
+                a.fetch_add(1, Ordering::SeqCst);
+            });
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn retry_reexecutes_closure_until_success() {
+        let tm = TxnManager::default();
+        let tries = Cell::new(0);
+        let v = tm
+            .run(|_txn| {
+                tries.set(tries.get() + 1);
+                if tries.get() < 3 {
+                    Err(Abort::conflict())
+                } else {
+                    Ok(tries.get())
+                }
+            })
+            .unwrap();
+        assert_eq!(v, 3);
+        let snap = tm.stats().snapshot();
+        assert_eq!(snap.started, 3);
+        assert_eq!(snap.committed, 1);
+        assert_eq!(snap.aborted, 2);
+        assert_eq!(snap.conflict_aborts, 2);
+    }
+
+    #[test]
+    fn txn_ids_are_unique_and_increasing() {
+        let tm = TxnManager::default();
+        let a = tm.begin();
+        let b = tm.begin();
+        assert_ne!(a.id(), b.id());
+        assert!(a.id() < b.id());
+        tm.commit(a);
+        tm.abort(b, AbortReason::Explicit);
+    }
+
+    #[test]
+    fn txn_ids_are_unique_across_managers() {
+        // Abstract-lock ownership is keyed by TxnId; two managers
+        // sharing boosted objects must never mint the same id.
+        let tm1 = TxnManager::default();
+        let tm2 = TxnManager::default();
+        let a = tm1.begin();
+        let b = tm2.begin();
+        assert_ne!(a.id(), b.id());
+        tm1.commit(a);
+        tm2.commit(b);
+    }
+
+    #[test]
+    fn drop_of_active_txn_rolls_back() {
+        let tm = TxnManager::default();
+        let count = Arc::new(AtomicI64::new(0));
+        {
+            let txn = tm.begin();
+            let c = count.clone();
+            txn.log_undo(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            // txn dropped here while still active (simulates a panic
+            // unwinding through the transaction closure).
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no longer active")]
+    fn logging_after_commit_panics() {
+        let tm = TxnManager::default();
+        let txn = tm.begin();
+        // Commit via the internal protocol, keeping the value alive.
+        txn.do_commit();
+        txn.log_undo(|| {});
+    }
+
+    #[test]
+    fn state_transitions_are_observable() {
+        let tm = TxnManager::default();
+        let txn = tm.begin();
+        assert_eq!(txn.state(), TxnState::Active);
+        txn.do_commit();
+        assert_eq!(txn.state(), TxnState::Committed);
+
+        let txn = tm.begin();
+        txn.do_rollback();
+        assert_eq!(txn.state(), TxnState::Aborted);
+    }
+
+    #[test]
+    fn max_retries_zero_means_single_attempt() {
+        let tm = TxnManager::new(TxnConfig {
+            max_retries: Some(0),
+            ..TxnConfig::default()
+        });
+        let mut attempts = 0;
+        let res: Result<(), TxnError> = tm.run(|_| {
+            attempts += 1;
+            Err(Abort::conflict())
+        });
+        assert!(matches!(
+            res,
+            Err(TxnError::RetriesExhausted(AbortReason::Conflict))
+        ));
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn savepoint_rollback_undoes_only_the_suffix() {
+        let tm = TxnManager::default();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        tm.run(move |txn| {
+            let l = Arc::clone(&log2);
+            txn.log_undo(move || l.lock().unwrap().push("undo-A"));
+            let sp = txn.savepoint();
+            let l = Arc::clone(&log2);
+            txn.log_undo(move || l.lock().unwrap().push("undo-B"));
+            let l = Arc::clone(&log2);
+            txn.log_undo(move || l.lock().unwrap().push("undo-C"));
+            txn.rollback_to(sp);
+            assert_eq!(txn.undo_log_len(), 1, "prefix must survive");
+            Ok(())
+        })
+        .unwrap();
+        // C and B ran (reverse order); A never ran (txn committed).
+        assert_eq!(*log.lock().unwrap(), vec!["undo-C", "undo-B"]);
+    }
+
+    #[test]
+    fn savepoint_rollback_discards_deferred_suffix() {
+        let tm = TxnManager::default();
+        let count = Arc::new(AtomicI64::new(0));
+        let c = Arc::clone(&count);
+        tm.run(move |txn| {
+            let sp = txn.savepoint();
+            let c2 = Arc::clone(&c);
+            txn.defer_on_commit(move || {
+                c2.fetch_add(100, Ordering::SeqCst);
+            });
+            txn.rollback_to(sp);
+            let c3 = Arc::clone(&c);
+            txn.defer_on_commit(move || {
+                c3.fetch_add(1, Ordering::SeqCst);
+            });
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 1, "rolled-back deferral ran");
+    }
+
+    #[test]
+    fn nested_failure_leaves_parent_effects_intact() {
+        let tm = TxnManager::default();
+        let count = Arc::new(AtomicI64::new(0));
+        let c = Arc::clone(&count);
+        let out = tm
+            .run(move |txn| {
+                let c_parent = Arc::clone(&c);
+                c_parent.fetch_add(10, Ordering::SeqCst);
+                let c_undo = Arc::clone(&c);
+                txn.log_undo(move || {
+                    c_undo.fetch_add(-10, Ordering::SeqCst);
+                });
+                let c_in = Arc::clone(&c);
+                let nested: TxResult<()> = txn.nested(move |t| {
+                    c_in.fetch_add(5, Ordering::SeqCst);
+                    let c_nundo = Arc::clone(&c_in);
+                    t.log_undo(move || {
+                        c_nundo.fetch_add(-5, Ordering::SeqCst);
+                    });
+                    Err(Abort::explicit())
+                });
+                assert!(nested.is_err());
+                Ok(c.load(Ordering::SeqCst))
+            })
+            .unwrap();
+        assert_eq!(out, 10, "nested effects not undone or parent's undone");
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn nested_success_keeps_effects_and_parent_abort_undoes_all() {
+        let tm = TxnManager::default();
+        let count = Arc::new(AtomicI64::new(0));
+        let c = Arc::clone(&count);
+        let r: Result<(), TxnError> = tm.run(move |txn| {
+            let c_in = Arc::clone(&c);
+            txn.nested(move |t| {
+                c_in.fetch_add(5, Ordering::SeqCst);
+                let c_undo = Arc::clone(&c_in);
+                t.log_undo(move || {
+                    c_undo.fetch_add(-5, Ordering::SeqCst);
+                });
+                Ok(())
+            })?;
+            Err(Abort::explicit())
+        });
+        assert!(r.is_err());
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            0,
+            "parent abort must undo committed-nested effects too"
+        );
+    }
+
+    #[test]
+    fn savepoints_nest() {
+        let tm = TxnManager::default();
+        let v = Arc::new(Mutex::new(vec![0i32]));
+        let v2 = Arc::clone(&v);
+        tm.run(move |txn| {
+            let push = |x: i32| {
+                let v = Arc::clone(&v2);
+                v.lock().unwrap().push(x);
+                let v = Arc::clone(&v2);
+                move || {
+                    v.lock().unwrap().pop();
+                }
+            };
+            let outer = txn.savepoint();
+            txn.log_undo(push(1));
+            let inner = txn.savepoint();
+            txn.log_undo(push(2));
+            txn.rollback_to(inner); // pops 2
+            txn.rollback_to(outer); // pops 1
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(*v.lock().unwrap(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different transaction")]
+    fn foreign_savepoint_rejected() {
+        let tm = TxnManager::default();
+        let a = tm.begin();
+        let b = tm.begin();
+        let sp = a.savepoint();
+        b.rollback_to(sp);
+    }
+
+    #[test]
+    fn explicit_abort_is_never_retried() {
+        // Even with an unlimited retry budget.
+        let tm = TxnManager::default();
+        let mut attempts = 0;
+        let res: Result<(), TxnError> = tm.run(|_| {
+            attempts += 1;
+            Err(Abort::explicit())
+        });
+        assert!(matches!(res, Err(TxnError::ExplicitlyAborted)));
+        assert_eq!(attempts, 1);
+    }
+}

@@ -1,0 +1,665 @@
+//! A sequential red-black tree set and its coarse-locked linearizable
+//! wrapper.
+//!
+//! Section 4.1 of the paper starts from "a sequential red-black tree
+//! implementation" and derives two competitors:
+//!
+//! * the **boosted** class makes every sequential method `synchronized`
+//!   — here [`SyncRbTreeSet`], a mutex around [`RbTreeSet`] — yielding
+//!   a linearizable base type with no thread-level concurrency, then
+//!   protects the transactional wrapper with a single two-phase lock;
+//! * the **shadow-copy** class feeds the same sequential code to the
+//!   read/write STM (`txboost-rwstm` in this repo).
+//!
+//! [`RbTreeSet`] is a classic CLRS red-black tree over an index arena
+//! (no per-node allocation churn, no parent-pointer `Rc` cycles), with
+//! an internal invariant checker used heavily by the tests.
+
+use parking_lot::Mutex;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: K,
+    color: Color,
+    left: usize,
+    right: usize,
+    parent: usize,
+}
+
+/// A sequential red-black tree implementing a sorted set.
+///
+/// All operations are O(log n); the tree stays balanced per the usual
+/// red-black invariants (validated by
+/// [`check_invariants`](RbTreeSet::check_invariants)).
+#[derive(Debug, Default)]
+pub struct RbTreeSet<K> {
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    root: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone> RbTreeSet<K> {
+    /// An empty set.
+    pub fn new() -> Self {
+        RbTreeSet {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, key: K) -> usize {
+        let node = Node {
+            key,
+            color: Color::Red,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    fn color(&self, x: usize) -> Color {
+        if x == NIL {
+            Color::Black
+        } else {
+            self.nodes[x].color
+        }
+    }
+
+    fn set_color(&mut self, x: usize, c: Color) {
+        if x != NIL {
+            self.nodes[x].color = c;
+        }
+    }
+
+    fn left(&self, x: usize) -> usize {
+        self.nodes[x].left
+    }
+
+    fn right(&self, x: usize) -> usize {
+        self.nodes[x].right
+    }
+
+    fn parent(&self, x: usize) -> usize {
+        if x == NIL {
+            NIL
+        } else {
+            self.nodes[x].parent
+        }
+    }
+
+    fn rotate_left(&mut self, x: usize) {
+        let y = self.right(x);
+        debug_assert_ne!(y, NIL);
+        let yl = self.left(y);
+        self.nodes[x].right = yl;
+        if yl != NIL {
+            self.nodes[yl].parent = x;
+        }
+        let xp = self.parent(x);
+        self.nodes[y].parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.left(xp) == x {
+            self.nodes[xp].left = y;
+        } else {
+            self.nodes[xp].right = y;
+        }
+        self.nodes[y].left = x;
+        self.nodes[x].parent = y;
+    }
+
+    fn rotate_right(&mut self, x: usize) {
+        let y = self.left(x);
+        debug_assert_ne!(y, NIL);
+        let yr = self.right(y);
+        self.nodes[x].left = yr;
+        if yr != NIL {
+            self.nodes[yr].parent = x;
+        }
+        let xp = self.parent(x);
+        self.nodes[y].parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.left(xp) == x {
+            self.nodes[xp].left = y;
+        } else {
+            self.nodes[xp].right = y;
+        }
+        self.nodes[y].right = x;
+        self.nodes[x].parent = y;
+    }
+
+    fn find_node(&self, key: &K) -> usize {
+        let mut x = self.root;
+        while x != NIL {
+            match key.cmp(&self.nodes[x].key) {
+                std::cmp::Ordering::Less => x = self.left(x),
+                std::cmp::Ordering::Greater => x = self.right(x),
+                std::cmp::Ordering::Equal => return x,
+            }
+        }
+        NIL
+    }
+
+    /// Whether `key` is in the set.
+    pub fn contains(&self, key: &K) -> bool {
+        self.find_node(key) != NIL
+    }
+
+    /// Insert `key`; returns `true` iff the set changed.
+    pub fn add(&mut self, key: K) -> bool {
+        let mut parent = NIL;
+        let mut x = self.root;
+        while x != NIL {
+            parent = x;
+            match key.cmp(&self.nodes[x].key) {
+                std::cmp::Ordering::Less => x = self.left(x),
+                std::cmp::Ordering::Greater => x = self.right(x),
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        let z = self.alloc(key);
+        self.nodes[z].parent = parent;
+        if parent == NIL {
+            self.root = z;
+        } else if self.nodes[z].key < self.nodes[parent].key {
+            self.nodes[parent].left = z;
+        } else {
+            self.nodes[parent].right = z;
+        }
+        self.insert_fixup(z);
+        self.len += 1;
+        true
+    }
+
+    fn insert_fixup(&mut self, mut z: usize) {
+        while self.color(self.parent(z)) == Color::Red {
+            let p = self.parent(z);
+            let g = self.parent(p);
+            if p == self.left(g) {
+                let u = self.right(g);
+                if self.color(u) == Color::Red {
+                    self.set_color(p, Color::Black);
+                    self.set_color(u, Color::Black);
+                    self.set_color(g, Color::Red);
+                    z = g;
+                } else {
+                    if z == self.right(p) {
+                        z = p;
+                        self.rotate_left(z);
+                    }
+                    let p = self.parent(z);
+                    let g = self.parent(p);
+                    self.set_color(p, Color::Black);
+                    self.set_color(g, Color::Red);
+                    self.rotate_right(g);
+                }
+            } else {
+                let u = self.left(g);
+                if self.color(u) == Color::Red {
+                    self.set_color(p, Color::Black);
+                    self.set_color(u, Color::Black);
+                    self.set_color(g, Color::Red);
+                    z = g;
+                } else {
+                    if z == self.left(p) {
+                        z = p;
+                        self.rotate_right(z);
+                    }
+                    let p = self.parent(z);
+                    let g = self.parent(p);
+                    self.set_color(p, Color::Black);
+                    self.set_color(g, Color::Red);
+                    self.rotate_left(g);
+                }
+            }
+        }
+        let r = self.root;
+        self.set_color(r, Color::Black);
+    }
+
+    fn minimum(&self, mut x: usize) -> usize {
+        while self.left(x) != NIL {
+            x = self.left(x);
+        }
+        x
+    }
+
+    /// `u`'s parent adopts `v` in `u`'s place (`v` may be NIL).
+    fn transplant(&mut self, u: usize, v: usize) {
+        let up = self.parent(u);
+        if up == NIL {
+            self.root = v;
+        } else if u == self.left(up) {
+            self.nodes[up].left = v;
+        } else {
+            self.nodes[up].right = v;
+        }
+        if v != NIL {
+            self.nodes[v].parent = up;
+        }
+    }
+
+    /// Remove `key`; returns `true` iff the set changed.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let z = self.find_node(key);
+        if z == NIL {
+            return false;
+        }
+        // CLRS delete. `x` is the node that moves into `y`'s old
+        // position; `x_parent` tracks its parent because `x` may be NIL
+        // (the arena has no sentinel node).
+        let mut y = z;
+        let mut y_color = self.color(y);
+        let x;
+        let x_parent;
+        if self.left(z) == NIL {
+            x = self.right(z);
+            x_parent = self.parent(z);
+            self.transplant(z, x);
+        } else if self.right(z) == NIL {
+            x = self.left(z);
+            x_parent = self.parent(z);
+            self.transplant(z, x);
+        } else {
+            y = self.minimum(self.right(z));
+            y_color = self.color(y);
+            x = self.right(y);
+            if self.parent(y) == z {
+                x_parent = y;
+            } else {
+                x_parent = self.parent(y);
+                self.transplant(y, x);
+                let zr = self.right(z);
+                self.nodes[y].right = zr;
+                self.nodes[zr].parent = y;
+            }
+            self.transplant(z, y);
+            let zl = self.left(z);
+            self.nodes[y].left = zl;
+            self.nodes[zl].parent = y;
+            let zc = self.color(z);
+            self.nodes[y].color = zc;
+        }
+        self.free.push(z);
+        self.len -= 1;
+        if y_color == Color::Black {
+            self.delete_fixup(x, x_parent);
+        }
+        true
+    }
+
+    fn delete_fixup(&mut self, mut x: usize, mut x_parent: usize) {
+        while x != self.root && self.color(x) == Color::Black {
+            if x_parent == NIL {
+                break;
+            }
+            if x == self.left(x_parent) {
+                let mut w = self.right(x_parent);
+                if self.color(w) == Color::Red {
+                    self.set_color(w, Color::Black);
+                    self.set_color(x_parent, Color::Red);
+                    self.rotate_left(x_parent);
+                    w = self.right(x_parent);
+                }
+                if self.color(self.left(w)) == Color::Black
+                    && self.color(self.right(w)) == Color::Black
+                {
+                    self.set_color(w, Color::Red);
+                    x = x_parent;
+                    x_parent = self.parent(x);
+                } else {
+                    if self.color(self.right(w)) == Color::Black {
+                        let wl = self.left(w);
+                        self.set_color(wl, Color::Black);
+                        self.set_color(w, Color::Red);
+                        self.rotate_right(w);
+                        w = self.right(x_parent);
+                    }
+                    let pc = self.color(x_parent);
+                    self.set_color(w, pc);
+                    self.set_color(x_parent, Color::Black);
+                    let wr = self.right(w);
+                    self.set_color(wr, Color::Black);
+                    self.rotate_left(x_parent);
+                    x = self.root;
+                    x_parent = NIL;
+                }
+            } else {
+                let mut w = self.left(x_parent);
+                if self.color(w) == Color::Red {
+                    self.set_color(w, Color::Black);
+                    self.set_color(x_parent, Color::Red);
+                    self.rotate_right(x_parent);
+                    w = self.left(x_parent);
+                }
+                if self.color(self.right(w)) == Color::Black
+                    && self.color(self.left(w)) == Color::Black
+                {
+                    self.set_color(w, Color::Red);
+                    x = x_parent;
+                    x_parent = self.parent(x);
+                } else {
+                    if self.color(self.left(w)) == Color::Black {
+                        let wr = self.right(w);
+                        self.set_color(wr, Color::Black);
+                        self.set_color(w, Color::Red);
+                        self.rotate_left(w);
+                        w = self.left(x_parent);
+                    }
+                    let pc = self.color(x_parent);
+                    self.set_color(w, pc);
+                    self.set_color(x_parent, Color::Black);
+                    let wl = self.left(w);
+                    self.set_color(wl, Color::Black);
+                    self.rotate_right(x_parent);
+                    x = self.root;
+                    x_parent = NIL;
+                }
+            }
+        }
+        self.set_color(x, Color::Black);
+    }
+
+    /// Keys in ascending order.
+    pub fn to_sorted_vec(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = Vec::new();
+        let mut x = self.root;
+        while x != NIL || !stack.is_empty() {
+            while x != NIL {
+                stack.push(x);
+                x = self.left(x);
+            }
+            let n = stack.pop().unwrap();
+            out.push(self.nodes[n].key.clone());
+            x = self.right(n);
+        }
+        out
+    }
+
+    /// Validate every red-black invariant; returns the tree's black
+    /// height or an error description. Test-support API, also useful as
+    /// a corruption canary in long-running processes.
+    pub fn check_invariants(&self) -> Result<usize, String> {
+        if self.root != NIL && self.color(self.root) == Color::Red {
+            return Err("root is red".into());
+        }
+        self.check_subtree(self.root, None, None)
+    }
+
+    fn check_subtree(&self, x: usize, min: Option<&K>, max: Option<&K>) -> Result<usize, String> {
+        if x == NIL {
+            return Ok(1); // NIL counts as black
+        }
+        let key = &self.nodes[x].key;
+        if let Some(lo) = min {
+            if key <= lo {
+                return Err("BST order violated (left bound)".into());
+            }
+        }
+        if let Some(hi) = max {
+            if key >= hi {
+                return Err("BST order violated (right bound)".into());
+            }
+        }
+        let l = self.left(x);
+        let r = self.right(x);
+        if self.color(x) == Color::Red
+            && (self.color(l) == Color::Red || self.color(r) == Color::Red)
+        {
+            return Err("red node has a red child".into());
+        }
+        if l != NIL && self.parent(l) != x {
+            return Err("left child has wrong parent pointer".into());
+        }
+        if r != NIL && self.parent(r) != x {
+            return Err("right child has wrong parent pointer".into());
+        }
+        let lh = self.check_subtree(l, min, Some(key))?;
+        let rh = self.check_subtree(r, Some(key), max)?;
+        if lh != rh {
+            return Err(format!("black-height mismatch: {lh} vs {rh}"));
+        }
+        Ok(lh + if self.color(x) == Color::Black { 1 } else { 0 })
+    }
+}
+
+/// The "synchronized methods" linearizable wrapper of Section 4.1: the
+/// sequential tree behind one mutex — a linearizable base type with no
+/// thread-level concurrency, exactly what the paper boosts with a
+/// single two-phase transactional lock.
+#[derive(Debug, Default)]
+pub struct SyncRbTreeSet<K> {
+    inner: Mutex<RbTreeSet<K>>,
+}
+
+impl<K: Ord + Clone> SyncRbTreeSet<K> {
+    /// An empty set.
+    pub fn new() -> Self {
+        SyncRbTreeSet {
+            inner: Mutex::new(RbTreeSet::new()),
+        }
+    }
+
+    /// Insert `key`; returns `true` iff the set changed.
+    pub fn add(&self, key: K) -> bool {
+        self.inner.lock().add(key)
+    }
+
+    /// Remove `key`; returns `true` iff the set changed.
+    pub fn remove(&self, key: &K) -> bool {
+        self.inner.lock().remove(key)
+    }
+
+    /// Whether `key` is in the set.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.lock().contains(key)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Keys in ascending order.
+    pub fn to_sorted_vec(&self) -> Vec<K> {
+        self.inner.lock().to_sorted_vec()
+    }
+
+    /// Validate the underlying tree's invariants.
+    pub fn check_invariants(&self) -> Result<usize, String> {
+        self.inner.lock().check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_add_remove_contains() {
+        let mut t = RbTreeSet::new();
+        assert!(t.is_empty());
+        assert!(t.add(5));
+        assert!(!t.add(5));
+        assert!(t.contains(&5));
+        assert!(!t.contains(&4));
+        assert!(t.remove(&5));
+        assert!(!t.remove(&5));
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ascending_inserts_stay_balanced() {
+        let mut t = RbTreeSet::new();
+        for i in 0..1024 {
+            assert!(t.add(i));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("after add({i}): {e}"));
+        }
+        assert_eq!(t.len(), 1024);
+        let bh = t.check_invariants().unwrap();
+        assert!(bh <= 12, "tree degenerated: black height {bh}");
+        assert_eq!(t.to_sorted_vec(), (0..1024).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn descending_inserts_stay_balanced() {
+        let mut t = RbTreeSet::new();
+        for i in (0..1024).rev() {
+            t.add(i);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.to_sorted_vec(), (0..1024).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_every_other_keeps_invariants() {
+        let mut t = RbTreeSet::new();
+        for i in 0..512 {
+            t.add(i);
+        }
+        for i in (0..512).step_by(2) {
+            assert!(t.remove(&i));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("after remove({i}): {e}"));
+        }
+        assert_eq!(t.len(), 256);
+        assert_eq!(
+            t.to_sorted_vec(),
+            (0..512).filter(|i| i % 2 == 1).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn matches_btreeset_oracle_with_invariant_checks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = RbTreeSet::new();
+        let mut oracle = BTreeSet::new();
+        for step in 0..30_000 {
+            let k: i32 = rng.random_range(0..300);
+            match rng.random_range(0..3) {
+                0 => assert_eq!(t.add(k), oracle.insert(k), "step {step} add({k})"),
+                1 => assert_eq!(t.remove(&k), oracle.remove(&k), "step {step} remove({k})"),
+                _ => assert_eq!(t.contains(&k), oracle.contains(&k), "step {step}"),
+            }
+            if step % 512 == 0 {
+                t.check_invariants()
+                    .unwrap_or_else(|e| panic!("step {step}: {e}"));
+                assert_eq!(t.len(), oracle.len());
+            }
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(
+            t.to_sorted_vec(),
+            oracle.iter().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut t = RbTreeSet::new();
+        for i in 0..100 {
+            t.add(i);
+        }
+        for i in 0..100 {
+            t.remove(&i);
+        }
+        let allocated = t.nodes.len();
+        for i in 100..200 {
+            t.add(i);
+        }
+        assert_eq!(t.nodes.len(), allocated, "free list not reused");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sync_wrapper_is_linearizable_under_contention() {
+        let t = Arc::new(SyncRbTreeSet::new());
+        let threads = 8;
+        let per = 1_000i64;
+        let mut handles = Vec::new();
+        for th in 0..threads {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    assert!(t.add(th * per + i));
+                }
+                for i in (0..per).step_by(2) {
+                    assert!(t.remove(&(th * per + i)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), (threads * per / 2) as usize);
+    }
+
+    #[test]
+    fn sync_wrapper_reads_during_mutation_are_safe() {
+        let t = Arc::new(SyncRbTreeSet::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let (t2, stop2) = (Arc::clone(&t), Arc::clone(&stop));
+        let reader = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = t2.contains(&50);
+            }
+        });
+        for round in 0..200 {
+            for i in 0..100 {
+                t.add(i);
+            }
+            for i in 0..100 {
+                t.remove(&i);
+            }
+            if round % 50 == 0 {
+                t.check_invariants().unwrap();
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        reader.join().unwrap();
+    }
+}

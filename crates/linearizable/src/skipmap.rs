@@ -1,0 +1,518 @@
+//! A lazy concurrent skip-list **map**.
+//!
+//! The key→value sibling of [`crate::skiplist`] (the analogue of
+//! `java.util.concurrent.ConcurrentSkipListMap`): the same lazy
+//! skip-list algorithm — lock-free reads, per-node locks for updates,
+//! logical deletion then physical unlinking, epoch reclamation — with a
+//! value stored next to each key. Values are replaced in place under
+//! the node lock, so `insert` over an existing key is an O(1) update
+//! rather than a remove+add.
+//!
+//! The boosted sorted map wraps this type exactly the way
+//! `BoostedSkipListSet` wraps the set: per-key abstract locks, inverses
+//! that restore the previous binding.
+
+use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
+use parking_lot::{Mutex, MutexGuard};
+use std::cell::Cell;
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const MAX_LEVEL: usize = 32;
+
+#[derive(Debug)]
+enum Key<K> {
+    NegInf,
+    Value(K),
+    PosInf,
+}
+
+impl<K: Ord> Key<K> {
+    fn cmp_key(&self, other: &K) -> CmpOrdering {
+        match self {
+            Key::NegInf => CmpOrdering::Less,
+            Key::Value(v) => v.cmp(other),
+            Key::PosInf => CmpOrdering::Greater,
+        }
+    }
+}
+
+struct Node<K, V> {
+    key: Key<K>,
+    /// The mapped value; `None` only for sentinels. Mutated in place
+    /// (value replacement) under the node lock.
+    value: Mutex<Option<V>>,
+    top_level: usize,
+    lock: Mutex<()>,
+    marked: AtomicBool,
+    fully_linked: AtomicBool,
+    next: Vec<Atomic<Node<K, V>>>,
+}
+
+impl<K, V> Node<K, V> {
+    fn sentinel(key: Key<K>) -> Self {
+        Node {
+            key,
+            value: Mutex::new(None),
+            top_level: MAX_LEVEL - 1,
+            lock: Mutex::new(()),
+            marked: AtomicBool::new(false),
+            fully_linked: AtomicBool::new(true),
+            next: (0..MAX_LEVEL).map(|_| Atomic::null()).collect(),
+        }
+    }
+}
+
+fn random_level() -> usize {
+    thread_local! {
+        static RNG: Cell<u64> = const { Cell::new(0) };
+    }
+    RNG.with(|c| {
+        let mut x = c.get();
+        if x == 0 {
+            x = (c as *const _ as u64) | 0x9E37_79B9_7F4A_7C15;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c.set(x);
+        (x.trailing_ones() as usize).min(MAX_LEVEL - 1)
+    })
+}
+
+/// A linearizable concurrent sorted map. See the [module docs](self).
+pub struct LazySkipListMap<K, V> {
+    head: Atomic<Node<K, V>>,
+}
+
+impl<K, V> std::fmt::Debug for LazySkipListMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LazySkipListMap")
+    }
+}
+
+impl<K: Ord, V: Clone> Default for LazySkipListMap<K, V> {
+    fn default() -> Self {
+        LazySkipListMap::new()
+    }
+}
+
+impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        let tail =
+            Owned::new(Node::sentinel(Key::PosInf)).into_shared(unsafe { epoch::unprotected() });
+        let head = Node::sentinel(Key::NegInf);
+        for lvl in 0..MAX_LEVEL {
+            head.next[lvl].store(tail, Ordering::Relaxed);
+        }
+        LazySkipListMap {
+            head: Atomic::new(head),
+        }
+    }
+
+    fn find<'g>(
+        &self,
+        key: &K,
+        preds: &mut [Shared<'g, Node<K, V>>; MAX_LEVEL],
+        succs: &mut [Shared<'g, Node<K, V>>; MAX_LEVEL],
+        guard: &'g Guard,
+    ) -> Option<usize> {
+        let mut found = None;
+        let mut pred = self.head.load(Ordering::Acquire, guard);
+        for lvl in (0..MAX_LEVEL).rev() {
+            let mut curr = unsafe { pred.deref() }.next[lvl].load(Ordering::Acquire, guard);
+            loop {
+                let curr_ref = unsafe { curr.deref() };
+                match curr_ref.key.cmp_key(key) {
+                    CmpOrdering::Less => {
+                        pred = curr;
+                        curr = curr_ref.next[lvl].load(Ordering::Acquire, guard);
+                    }
+                    CmpOrdering::Equal => {
+                        if found.is_none() {
+                            found = Some(lvl);
+                        }
+                        break;
+                    }
+                    CmpOrdering::Greater => break,
+                }
+            }
+            preds[lvl] = pred;
+            succs[lvl] = curr;
+        }
+        found
+    }
+
+    #[allow(clippy::needless_range_loop)] // symmetric indexing of preds/succs is clearer
+    fn lock_and_validate<'g>(
+        preds: &[Shared<'g, Node<K, V>>; MAX_LEVEL],
+        expected: impl Fn(usize) -> Shared<'g, Node<K, V>>,
+        top: usize,
+        guard: &'g Guard,
+    ) -> Option<Vec<MutexGuard<'g, ()>>> {
+        let mut locks: Vec<MutexGuard<'g, ()>> = Vec::with_capacity(top + 1);
+        let mut prev: Option<Shared<'g, Node<K, V>>> = None;
+        for lvl in 0..=top {
+            let pred = preds[lvl];
+            if prev != Some(pred) {
+                locks.push(unsafe { pred.deref() }.lock.lock());
+                prev = Some(pred);
+            }
+            let p = unsafe { pred.deref() };
+            if p.marked.load(Ordering::Acquire)
+                || p.next[lvl].load(Ordering::Acquire, guard) != expected(lvl)
+            {
+                return None;
+            }
+        }
+        Some(locks)
+    }
+
+    /// Bind `key` to `value`, returning the previous value if the key
+    /// was already present.
+    #[allow(clippy::needless_range_loop)] // symmetric indexing of preds/succs is clearer
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let top_level = random_level();
+        let guard = epoch::pin();
+        let mut preds = [Shared::null(); MAX_LEVEL];
+        let mut succs = [Shared::null(); MAX_LEVEL];
+        loop {
+            if let Some(l_found) = self.find(&key, &mut preds, &mut succs, &guard) {
+                let node = unsafe { succs[l_found].deref() };
+                if !node.marked.load(Ordering::Acquire) {
+                    while !node.fully_linked.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    // Replace the value in place. Re-check `marked`
+                    // under the value lock: a remover marks before it
+                    // takes the value out, so an unmarked node's value
+                    // slot is live.
+                    let mut v = node.value.lock();
+                    if node.marked.load(Ordering::Acquire) {
+                        continue; // lost to a remover; retry as absent
+                    }
+                    return v.replace(value);
+                }
+                continue;
+            }
+            let locks = Self::lock_and_validate(&preds, |lvl| succs[lvl], top_level, &guard);
+            let Some(locks) = locks else { continue };
+            if (0..=top_level)
+                .any(|lvl| unsafe { succs[lvl].deref() }.marked.load(Ordering::Acquire))
+            {
+                drop(locks);
+                continue;
+            }
+            let node = Owned::new(Node {
+                key: Key::Value(key),
+                value: Mutex::new(Some(value)),
+                top_level,
+                lock: Mutex::new(()),
+                marked: AtomicBool::new(false),
+                fully_linked: AtomicBool::new(false),
+                next: (0..=top_level).map(|_| Atomic::null()).collect(),
+            });
+            for lvl in 0..=top_level {
+                node.next[lvl].store(succs[lvl], Ordering::Relaxed);
+            }
+            let node_shared = node.into_shared(&guard);
+            for lvl in 0..=top_level {
+                unsafe { preds[lvl].deref() }.next[lvl].store(node_shared, Ordering::Release);
+            }
+            unsafe { node_shared.deref() }
+                .fully_linked
+                .store(true, Ordering::Release);
+            return None;
+        }
+    }
+
+    /// Remove `key`, returning its value if it was present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let guard = epoch::pin();
+        let mut preds = [Shared::null(); MAX_LEVEL];
+        let mut succs = [Shared::null(); MAX_LEVEL];
+        let mut victim: Shared<'_, Node<K, V>> = Shared::null();
+        let mut victim_lock: Option<MutexGuard<'_, ()>> = None;
+        let mut taken: Option<V> = None;
+        let mut top_level = 0usize;
+        loop {
+            let l_found = self.find(key, &mut preds, &mut succs, &guard);
+            if victim_lock.is_none() {
+                let lf = l_found?;
+                let v = succs[lf];
+                let v_ref = unsafe { v.deref() };
+                if !v_ref.fully_linked.load(Ordering::Acquire)
+                    || v_ref.top_level != lf
+                    || v_ref.marked.load(Ordering::Acquire)
+                {
+                    return None;
+                }
+                let lock = v_ref.lock.lock();
+                if v_ref.marked.load(Ordering::Acquire) {
+                    return None;
+                }
+                v_ref.marked.store(true, Ordering::Release); // linearization point
+                taken = v_ref.value.lock().take();
+                victim = v;
+                victim_lock = Some(lock);
+                top_level = lf;
+            }
+            let locks = Self::lock_and_validate(&preds, |_| victim, top_level, &guard);
+            let Some(locks) = locks else { continue };
+            let v_ref = unsafe { victim.deref() };
+            for lvl in (0..=top_level).rev() {
+                let succ = v_ref.next[lvl].load(Ordering::Acquire, &guard);
+                unsafe { preds[lvl].deref() }.next[lvl].store(succ, Ordering::Release);
+            }
+            drop(victim_lock);
+            drop(locks);
+            unsafe {
+                guard.defer_destroy(victim);
+            }
+            return taken;
+        }
+    }
+
+    /// Clone of `key`'s value, if present. Takes no traversal locks.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let guard = epoch::pin();
+        let mut preds = [Shared::null(); MAX_LEVEL];
+        let mut succs = [Shared::null(); MAX_LEVEL];
+        let lf = self.find(key, &mut preds, &mut succs, &guard)?;
+        let node = unsafe { succs[lf].deref() };
+        if !node.fully_linked.load(Ordering::Acquire) || node.marked.load(Ordering::Acquire) {
+            return None;
+        }
+        let v = node.value.lock();
+        if node.marked.load(Ordering::Acquire) {
+            return None;
+        }
+        v.clone()
+    }
+
+    /// Whether `key` is bound.
+    pub fn contains_key(&self, key: &K) -> bool {
+        let guard = epoch::pin();
+        let mut preds = [Shared::null(); MAX_LEVEL];
+        let mut succs = [Shared::null(); MAX_LEVEL];
+        match self.find(key, &mut preds, &mut succs, &guard) {
+            Some(lf) => {
+                let node = unsafe { succs[lf].deref() };
+                node.fully_linked.load(Ordering::Acquire) && !node.marked.load(Ordering::Acquire)
+            }
+            None => false,
+        }
+    }
+
+    /// Number of bindings (level-0 walk; exact only at quiescence).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        self.walk(|_, _| n += 1);
+        n
+    }
+
+    /// Whether the map is empty (same caveat as [`LazySkipListMap::len`]).
+    pub fn is_empty(&self) -> bool {
+        let mut any = false;
+        self.walk(|_, _| any = true);
+        !any
+    }
+
+    /// Ascending `(key, value)` snapshot (exact only at quiescence).
+    pub fn snapshot(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::new();
+        self.walk(|k, v| out.push((k.clone(), v)));
+        out
+    }
+
+    fn walk(&self, mut f: impl FnMut(&K, V)) {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        let mut curr = unsafe { head.deref() }.next[0].load(Ordering::Acquire, &guard);
+        loop {
+            let node = unsafe { curr.deref() };
+            match &node.key {
+                Key::PosInf => break,
+                Key::Value(k) => {
+                    if node.fully_linked.load(Ordering::Acquire)
+                        && !node.marked.load(Ordering::Acquire)
+                    {
+                        if let Some(v) = node.value.lock().clone() {
+                            f(k, v);
+                        }
+                    }
+                }
+                Key::NegInf => unreachable!("NegInf is never a successor"),
+            }
+            curr = node.next[0].load(Ordering::Acquire, &guard);
+        }
+    }
+}
+
+impl<K, V> Drop for LazySkipListMap<K, V> {
+    fn drop(&mut self) {
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut curr = self.head.load(Ordering::Relaxed, guard);
+            while !curr.is_null() {
+                let next = curr.deref().next[0].load(Ordering::Relaxed, guard);
+                drop(curr.into_owned());
+                curr = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let m = LazySkipListMap::new();
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.get(&1), Some("a"));
+        assert!(m.contains_key(&1));
+        assert_eq!(m.insert(1, "b"), Some("a"), "replace must return old");
+        assert_eq!(m.get(&1), Some("b"));
+        assert_eq!(m.remove(&1), Some("b"));
+        assert_eq!(m.remove(&1), None);
+        assert!(!m.contains_key(&1));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_key() {
+        let m = LazySkipListMap::new();
+        for (k, v) in [(5, "e"), (1, "a"), (3, "c")] {
+            m.insert(k, v);
+        }
+        assert_eq!(m.snapshot(), vec![(1, "a"), (3, "c"), (5, "e")]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn matches_btreemap_oracle_on_random_sequential_workload() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let m = LazySkipListMap::new();
+        let mut oracle = BTreeMap::new();
+        for _ in 0..20_000 {
+            let k: i32 = rng.random_range(0..150);
+            match rng.random_range(0..4) {
+                0 | 1 => {
+                    let v: i32 = rng.random_range(0..1000);
+                    assert_eq!(m.insert(k, v), oracle.insert(k, v), "insert({k})");
+                }
+                2 => assert_eq!(m.remove(&k), oracle.remove(&k), "remove({k})"),
+                _ => assert_eq!(m.get(&k), oracle.get(&k).copied(), "get({k})"),
+            }
+        }
+        assert_eq!(m.snapshot(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_visible() {
+        let m = Arc::new(LazySkipListMap::new());
+        let threads = 8;
+        let per = 1_000i64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    let k = t * per + i;
+                    assert_eq!(m.insert(k, k * 10), None);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), (threads * per) as usize);
+        for k in 0..threads * per {
+            assert_eq!(m.get(&k), Some(k * 10), "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_replace_on_one_key_never_loses_the_binding() {
+        let m = Arc::new(LazySkipListMap::new());
+        m.insert(0, 0u64);
+        let mut handles = Vec::new();
+        for t in 1..=8u64 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000 {
+                    m.insert(0, t * 10_000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(m.get(&0).is_some(), "binding lost under replacement race");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_insert_remove_mixed_is_consistent() {
+        let m = Arc::new(LazySkipListMap::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t);
+                for _ in 0..3_000 {
+                    let k = rng.random_range(0..32i64);
+                    if rng.random_bool(0.5) {
+                        m.insert(k, t);
+                    } else {
+                        m.remove(&k);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = m.snapshot();
+        assert!(
+            snap.windows(2).all(|w| w[0].0 < w[1].0),
+            "keys not sorted/unique"
+        );
+        for (k, _) in &snap {
+            assert!(m.contains_key(k));
+        }
+    }
+
+    #[test]
+    fn get_never_observes_a_removed_value() {
+        // A reader racing a remover must see either the value or None,
+        // never a panic or a stale marked node's value.
+        let m = Arc::new(LazySkipListMap::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let (m2, stop2) = (Arc::clone(&m), Arc::clone(&stop));
+        let reader = std::thread::spawn(move || {
+            let mut hits = 0u64;
+            while !stop2.load(Ordering::Relaxed) {
+                if m2.get(&1).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+        for _ in 0..5_000 {
+            m.insert(1, 42);
+            m.remove(&1);
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+    }
+}

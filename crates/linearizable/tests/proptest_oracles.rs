@@ -1,0 +1,187 @@
+//! Property-based oracle tests for every linearizable base object.
+//!
+//! Each strategy generates an arbitrary operation script, applies it
+//! both to the concurrent structure (sequentially — linearizability
+//! under concurrency is covered by the in-module stress tests; here we
+//! pin down *sequential* correctness exhaustively) and to a std-library
+//! oracle, and requires identical responses and final state.
+
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::time::Duration;
+use txboost_linearizable::*;
+
+#[derive(Debug, Clone, Copy)]
+enum SetScriptOp {
+    Add(i16),
+    Remove(i16),
+    Contains(i16),
+}
+
+fn set_ops() -> impl Strategy<Value = Vec<SetScriptOp>> {
+    proptest::collection::vec(
+        (0..40i16, 0..3u8).prop_map(|(k, w)| match w {
+            0 => SetScriptOp::Add(k),
+            1 => SetScriptOp::Remove(k),
+            _ => SetScriptOp::Contains(k),
+        }),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn skiplist_set_matches_btreeset(ops in set_ops()) {
+        let s = LazySkipListSet::new();
+        let mut oracle = BTreeSet::new();
+        for op in ops {
+            match op {
+                SetScriptOp::Add(k) => prop_assert_eq!(s.add(k), oracle.insert(k)),
+                SetScriptOp::Remove(k) => prop_assert_eq!(s.remove(&k), oracle.remove(&k)),
+                SetScriptOp::Contains(k) => prop_assert_eq!(s.contains(&k), oracle.contains(&k)),
+            }
+        }
+        prop_assert_eq!(s.snapshot(), oracle.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(s.len(), oracle.len());
+    }
+
+    #[test]
+    fn lock_coupling_list_matches_btreeset(ops in set_ops()) {
+        let s = LockCouplingList::new();
+        let mut oracle = BTreeSet::new();
+        for op in ops {
+            match op {
+                SetScriptOp::Add(k) => prop_assert_eq!(s.add(k), oracle.insert(k)),
+                SetScriptOp::Remove(k) => prop_assert_eq!(s.remove(&k), oracle.remove(&k)),
+                SetScriptOp::Contains(k) => prop_assert_eq!(s.contains(&k), oracle.contains(&k)),
+            }
+        }
+        prop_assert_eq!(s.snapshot(), oracle.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rbtree_matches_btreeset_with_invariants(ops in set_ops()) {
+        let mut s = RbTreeSet::new();
+        let mut oracle = BTreeSet::new();
+        for op in ops {
+            match op {
+                SetScriptOp::Add(k) => prop_assert_eq!(s.add(k), oracle.insert(k)),
+                SetScriptOp::Remove(k) => prop_assert_eq!(s.remove(&k), oracle.remove(&k)),
+                SetScriptOp::Contains(k) => prop_assert_eq!(s.contains(&k), oracle.contains(&k)),
+            }
+            if let Err(e) = s.check_invariants() {
+                prop_assert!(false, "red-black invariant violated: {}", e);
+            }
+        }
+        prop_assert_eq!(s.to_sorted_vec(), oracle.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skipmap_matches_btreemap(
+        ops in proptest::collection::vec((0..30i16, 0..1000i32, 0..4u8), 0..200)
+    ) {
+        let m = LazySkipListMap::new();
+        let mut oracle = BTreeMap::new();
+        for (k, v, w) in ops {
+            match w {
+                0 | 1 => prop_assert_eq!(m.insert(k, v), oracle.insert(k, v)),
+                2 => prop_assert_eq!(m.remove(&k), oracle.remove(&k)),
+                _ => prop_assert_eq!(m.get(&k), oracle.get(&k).copied()),
+            }
+        }
+        prop_assert_eq!(m.snapshot(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heap_matches_binaryheap(
+        ops in proptest::collection::vec(proptest::option::of(0..1000i32), 0..200)
+    ) {
+        let h = ConcurrentHeap::new();
+        let mut oracle = BinaryHeap::new();
+        for op in ops {
+            match op {
+                Some(x) => {
+                    h.add(x);
+                    oracle.push(Reverse(x));
+                }
+                None => prop_assert_eq!(h.remove_min(), oracle.pop().map(|Reverse(x)| x)),
+            }
+            prop_assert_eq!(h.min(), oracle.peek().map(|&Reverse(x)| x));
+            prop_assert_eq!(h.len(), oracle.len());
+        }
+    }
+
+    #[test]
+    fn deque_matches_vecdeque(
+        ops in proptest::collection::vec((0..4u8, 0..100i32), 0..200)
+    ) {
+        let cap = 8;
+        let q = BlockingDeque::new(cap);
+        let mut oracle: VecDeque<i32> = VecDeque::new();
+        let t0 = Duration::from_millis(0);
+        for (w, x) in ops {
+            match w {
+                0 => {
+                    let expect = oracle.len() < cap;
+                    prop_assert_eq!(q.offer_first(x, t0).is_ok(), expect);
+                    if expect { oracle.push_front(x); }
+                }
+                1 => {
+                    let expect = oracle.len() < cap;
+                    prop_assert_eq!(q.offer_last(x, t0).is_ok(), expect);
+                    if expect { oracle.push_back(x); }
+                }
+                2 => prop_assert_eq!(q.take_first(t0), oracle.pop_front()),
+                _ => prop_assert_eq!(q.take_last(t0), oracle.pop_back()),
+            }
+            prop_assert_eq!(q.len(), oracle.len());
+        }
+        prop_assert_eq!(q.snapshot(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slab_matches_reference_map(
+        ops in proptest::collection::vec((proptest::bool::ANY, 0..64usize), 0..200)
+    ) {
+        let slab = ConcurrentSlab::new();
+        let mut live: BTreeMap<SlabKey, usize> = BTreeMap::new();
+        let mut counter = 0usize;
+        for (do_insert, pick) in ops {
+            if do_insert || live.is_empty() {
+                counter += 1;
+                let k = slab.insert(counter);
+                prop_assert!(!live.contains_key(&k), "key {} double-allocated", k);
+                live.insert(k, counter);
+            } else {
+                let &k = live.keys().nth(pick % live.len()).unwrap();
+                let v = live.remove(&k);
+                prop_assert_eq!(slab.remove(k), v);
+            }
+            prop_assert_eq!(slab.len(), live.len());
+        }
+        for (k, v) in live {
+            prop_assert_eq!(slab.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn stack_matches_vec(
+        ops in proptest::collection::vec(proptest::option::of(0..100i32), 0..200)
+    ) {
+        let s = ConcurrentStack::new();
+        let mut oracle = Vec::new();
+        for op in ops {
+            match op {
+                Some(x) => {
+                    s.push(x);
+                    oracle.push(x);
+                }
+                None => prop_assert_eq!(s.pop(), oracle.pop()),
+            }
+            prop_assert_eq!(s.is_empty(), oracle.is_empty());
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Definitions 5.2–5.5, executable.
+//!
+//! The paper's definitions quantify over *all* histories; these
+//! checkers quantify over caller-supplied finite enumerations of states
+//! (and, for disposability, of continuation sequences). Passing such a
+//! check is evidence over the enumerated domain — exactly how the
+//! tests use it, enumerating every small state over a bounded key
+//! universe, which by symmetry covers the general case for these
+//! specifications.
+
+use crate::spec::{Call, SequentialSpec};
+
+/// Replay `calls` from `state`; `Some(final_state)` iff every call is
+/// legal (the paper's history legality, Section 5.1).
+pub fn replay<S: SequentialSpec>(
+    spec: &S,
+    state: &S::State,
+    calls: &[Call<S::Op, S::Resp>],
+) -> Option<S::State> {
+    let mut st = state.clone();
+    for c in calls {
+        st = spec.step(&st, &c.op, &c.resp)?;
+    }
+    Some(st)
+}
+
+/// Whether `calls` is legal starting from `state`.
+pub fn legal<S: SequentialSpec>(
+    spec: &S,
+    state: &S::State,
+    calls: &[Call<S::Op, S::Resp>],
+) -> bool {
+    replay(spec, state, calls).is_some()
+}
+
+/// Definition 5.2 for canonical states: two histories (given by their
+/// replayed end states) define the same state iff the canonical states
+/// are equal.
+pub fn same_state<S: SequentialSpec>(a: &S::State, b: &S::State) -> bool {
+    a == b
+}
+
+/// Definition 5.4 (**commutativity**), quantified over `states`: two
+/// method calls commute if, wherever both are individually legal, both
+/// orders are legal and define the same state.
+pub fn calls_commute<S: SequentialSpec>(
+    spec: &S,
+    states: impl IntoIterator<Item = S::State>,
+    a: &Call<S::Op, S::Resp>,
+    b: &Call<S::Op, S::Resp>,
+) -> bool {
+    for s in states {
+        let a_first = replay(spec, &s, std::slice::from_ref(a));
+        let b_first = replay(spec, &s, std::slice::from_ref(b));
+        if a_first.is_none() || b_first.is_none() {
+            continue; // premise fails in this state
+        }
+        let ab = a_first.and_then(|st| replay(spec, &st, std::slice::from_ref(b)));
+        let ba = b_first.and_then(|st| replay(spec, &st, std::slice::from_ref(a)));
+        match (ab, ba) {
+            (Some(x), Some(y)) if same_state::<S>(&x, &y) => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Definition 5.3 (**inverse**), quantified over `states`: `inv`
+/// inverts `call` if, wherever `call` is legal, `call · inv` is legal
+/// and restores the starting state. `inv = None` encodes the paper's
+/// `noop()`.
+pub fn is_inverse_of<S: SequentialSpec>(
+    spec: &S,
+    states: impl IntoIterator<Item = S::State>,
+    call: &Call<S::Op, S::Resp>,
+    inv: Option<&Call<S::Op, S::Resp>>,
+) -> bool {
+    for s in states {
+        let Some(mid) = replay(spec, &s, std::slice::from_ref(call)) else {
+            continue;
+        };
+        let end = match inv {
+            None => Some(mid),
+            Some(i) => replay(spec, &mid, std::slice::from_ref(i)),
+        };
+        match end {
+            Some(e) if same_state::<S>(&e, &s) => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Definition 5.5 (**disposability**), quantified over `states` and
+/// continuation sequences `gs`: the call may be postponed past any `g`
+/// without anyone being able to tell — if `s · call` and `s · g · call`
+/// are legal, then `s · call · g` is legal and ends in the same state
+/// as `s · g · call`.
+pub fn is_disposable<S: SequentialSpec>(
+    spec: &S,
+    states: impl IntoIterator<Item = S::State>,
+    gs: &[Vec<Call<S::Op, S::Resp>>],
+    call: &Call<S::Op, S::Resp>,
+) -> bool {
+    for s in states {
+        for g in gs {
+            let direct = replay(spec, &s, std::slice::from_ref(call));
+            let g_then_call =
+                replay(spec, &s, g).and_then(|st| replay(spec, &st, std::slice::from_ref(call)));
+            let (Some(after_call), Some(late)) = (direct, g_then_call) else {
+                continue; // premise fails for this (state, g)
+            };
+            match replay(spec, &after_call, g) {
+                Some(early) if same_state::<S>(&early, &late) => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{IdGenOp, IdGenSpec, SetOp, SetSpec};
+    use std::collections::BTreeSet;
+
+    /// Every subset of {0..n} as a Set state.
+    fn all_set_states(n: u8) -> Vec<BTreeSet<i64>> {
+        (0u32..(1 << n))
+            .map(|mask| {
+                (0..n as i64)
+                    .filter(|k| mask & (1 << k) != 0)
+                    .collect::<BTreeSet<_>>()
+            })
+            .collect()
+    }
+
+    fn c(op: SetOp, r: bool) -> Call<SetOp, bool> {
+        Call::new(op, r)
+    }
+
+    #[test]
+    fn figure1_commutativity_distinct_keys_commute() {
+        let spec = SetSpec;
+        let states = all_set_states(4);
+        for (a, b) in [
+            (c(SetOp::Add(0), true), c(SetOp::Add(1), true)),
+            (c(SetOp::Add(0), false), c(SetOp::Add(1), false)),
+            (c(SetOp::Remove(0), true), c(SetOp::Add(1), true)),
+            (c(SetOp::Remove(0), true), c(SetOp::Remove(1), true)),
+            (c(SetOp::Contains(0), true), c(SetOp::Remove(1), true)),
+        ] {
+            assert!(
+                calls_commute(&spec, states.clone(), &a, &b),
+                "{a:?} should commute with {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_commutativity_same_key_no_effect_calls_commute() {
+        // add(x)/false ⇔ remove(x)/false ⇔ contains(x)/_ — Figure 1's
+        // third commutativity row.
+        let spec = SetSpec;
+        let states = all_set_states(3);
+        assert!(calls_commute(
+            &spec,
+            states.clone(),
+            &c(SetOp::Add(0), false),
+            &c(SetOp::Contains(0), true)
+        ));
+        assert!(calls_commute(
+            &spec,
+            states.clone(),
+            &c(SetOp::Remove(0), false),
+            &c(SetOp::Contains(0), false)
+        ));
+        assert!(calls_commute(
+            &spec,
+            states,
+            &c(SetOp::Add(0), false),
+            &c(SetOp::Remove(0), false)
+        ));
+    }
+
+    #[test]
+    fn same_key_mutations_do_not_commute() {
+        let spec = SetSpec;
+        let states = all_set_states(3);
+        // Genuinely co-enabled, order-sensitive pairs (both legal when
+        // 0 ∉ s / 0 ∈ s respectively):
+        assert!(!calls_commute(
+            &spec,
+            states.clone(),
+            &c(SetOp::Add(0), true),
+            &c(SetOp::Contains(0), false)
+        ));
+        assert!(!calls_commute(
+            &spec,
+            states.clone(),
+            &c(SetOp::Add(0), true),
+            &c(SetOp::Remove(0), false)
+        ));
+        assert!(!calls_commute(
+            &spec,
+            states.clone(),
+            &c(SetOp::Remove(0), true),
+            &c(SetOp::Contains(0), true)
+        ));
+        // A subtlety of Definition 5.4: add(0)/true and remove(0)/true
+        // are never both enabled in the same state (one needs 0 absent,
+        // the other needs it present), so the definition's premise is
+        // vacuous and they commute *trivially* — the lock discipline
+        // may still serialize them, which is merely conservative.
+        assert!(calls_commute(
+            &spec,
+            states.clone(),
+            &c(SetOp::Add(0), true),
+            &c(SetOp::Remove(0), true)
+        ));
+        // Two successful adds of the same key ARE co-enabled (each is
+        // individually legal when 0 is absent) but cannot be sequenced
+        // — the second must return false — so they do not commute.
+        assert!(!calls_commute(
+            &spec,
+            states,
+            &c(SetOp::Add(0), true),
+            &c(SetOp::Add(0), true)
+        ));
+    }
+
+    #[test]
+    fn figure1_inverse_table_verified() {
+        let spec = SetSpec;
+        let states = all_set_states(4);
+        let calls = [
+            c(SetOp::Add(1), true),
+            c(SetOp::Add(1), false),
+            c(SetOp::Remove(1), true),
+            c(SetOp::Remove(1), false),
+            c(SetOp::Contains(1), true),
+            c(SetOp::Contains(1), false),
+        ];
+        for call in calls {
+            let inv = SetSpec::inverse(&call);
+            assert!(
+                is_inverse_of(&spec, states.clone(), &call, inv.as_ref()),
+                "Figure 1 inverse failed for {call:?} -> {inv:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_inverse_is_rejected() {
+        let spec = SetSpec;
+        let states = all_set_states(3);
+        // Claiming add(1)/true inverts to remove(2)/true must fail.
+        assert!(!is_inverse_of(
+            &spec,
+            states.clone(),
+            &c(SetOp::Add(1), true),
+            Some(&c(SetOp::Remove(2), true))
+        ));
+        // Claiming add(1)/true inverts to noop must fail.
+        assert!(!is_inverse_of(&spec, states, &c(SetOp::Add(1), true), None));
+    }
+
+    #[test]
+    fn lemma_5_2_inverse_commutativity() {
+        // If a ⇔ b then a ⇔ (b · b⁻¹): checked by replaying the pair
+        // sequence against commuting calls.
+        let spec = SetSpec;
+        let states = all_set_states(4);
+        let a = c(SetOp::Add(0), true);
+        let b = c(SetOp::Remove(1), true);
+        let b_inv = SetSpec::inverse(&b).unwrap();
+        assert!(calls_commute(&spec, states.clone(), &a, &b));
+        for s in states {
+            let Some(via_a_first) = replay(&spec, &s, &[a.clone(), b.clone(), b_inv.clone()])
+            else {
+                continue;
+            };
+            if let Some(via_b_first) = replay(&spec, &s, &[b.clone(), b_inv.clone(), a.clone()]) {
+                assert_eq!(via_a_first, via_b_first, "Lemma 5.2 violated at {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn release_id_is_disposable_assign_is_not() {
+        // Section 5.2.3: releaseID can be postponed arbitrarily.
+        let spec = IdGenSpec;
+        // States: subsets of ids {0,1} in use that include id 0 (the
+        // one being released).
+        let states: Vec<BTreeSet<u64>> = vec![
+            [0u64].into_iter().collect(),
+            [0u64, 1].into_iter().collect(),
+        ];
+        let release0 = Call::new(IdGenOp::Release(0), None);
+        // Continuations that never mention id 0 (the paper's G for a
+        // postponed release: as long as 0 stays assigned, no legal
+        // continuation can observe it).
+        let gs: Vec<Vec<Call<IdGenOp, Option<u64>>>> = vec![
+            vec![Call::new(IdGenOp::Assign, Some(2))],
+            vec![
+                Call::new(IdGenOp::Assign, Some(2)),
+                Call::new(IdGenOp::Release(2), None),
+            ],
+            vec![Call::new(IdGenOp::Release(1), None)],
+        ];
+        assert!(is_disposable(&spec, states.clone(), &gs, &release0));
+        // assignID()/2 is NOT disposable against a g that assigns 2:
+        // postponing it would double-assign.
+        let assign2 = Call::new(IdGenOp::Assign, Some(2));
+        let g_conflict: Vec<Vec<Call<IdGenOp, Option<u64>>>> = vec![vec![
+            Call::new(IdGenOp::Assign, Some(2)),
+            Call::new(IdGenOp::Release(2), None),
+        ]];
+        assert!(!is_disposable(&spec, states, &g_conflict, &assign2));
+    }
+
+    #[test]
+    fn set_add_is_not_disposable() {
+        // add(0)/true postponed past contains(0)/false is observable.
+        let spec = SetSpec;
+        let states = all_set_states(2)
+            .into_iter()
+            .filter(|s| !s.contains(&0))
+            .collect::<Vec<_>>();
+        let add0 = c(SetOp::Add(0), true);
+        let gs = vec![vec![c(SetOp::Contains(0), false)]];
+        assert!(!is_disposable(&spec, states, &gs, &add0));
+    }
+
+    #[test]
+    fn replay_reports_final_state() {
+        let spec = SetSpec;
+        let end = replay(
+            &spec,
+            &BTreeSet::new(),
+            &[
+                c(SetOp::Add(1), true),
+                c(SetOp::Add(2), true),
+                c(SetOp::Remove(1), true),
+            ],
+        )
+        .unwrap();
+        assert_eq!(end, [2i64].into_iter().collect::<BTreeSet<_>>());
+        assert!(!legal(
+            &spec,
+            &BTreeSet::new(),
+            &[c(SetOp::Remove(5), true)]
+        ));
+    }
+}

@@ -1,0 +1,293 @@
+//! Transactional events and histories (Section 5.1 of the paper).
+
+use std::fmt;
+
+/// A transaction's name in a history (the paper's `A`, `B`, `T`…).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnLabel(pub u64);
+
+impl fmt::Display for TxnLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One event of a history.
+///
+/// The paper writes a method call as an invocation event
+/// `⟨A, x.m(v)⟩` immediately answered (in well-formed single-object
+/// histories) by a response event `⟨A, r⟩`; we fuse the pair into one
+/// [`Event::Call`] carrying both, which loses no information for the
+/// whole-history properties checked here (every projection the proofs
+/// manipulate keeps invocation/response pairs adjacent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<Op, Resp> {
+    /// `⟨T init⟩`
+    Init(TxnLabel),
+    /// `⟨T, x.m(v)⟩ · ⟨T, r⟩`
+    Call {
+        /// The calling transaction.
+        txn: TxnLabel,
+        /// The method and its arguments.
+        op: Op,
+        /// The response.
+        resp: Resp,
+        /// Whether this call is an *inverse* executed while aborting
+        /// (the paper's `m⁻¹`; members of `reverting(h)`).
+        inverse: bool,
+    },
+    /// `⟨T commit⟩`
+    Commit(TxnLabel),
+    /// `⟨T abort⟩` — the transaction decided to abort and will now run
+    /// its compensating actions.
+    Abort(TxnLabel),
+    /// `⟨T aborted⟩` — every inverse has executed.
+    Aborted(TxnLabel),
+}
+
+impl<Op, Resp> Event<Op, Resp> {
+    /// The transaction this event belongs to.
+    pub fn txn(&self) -> TxnLabel {
+        match *self {
+            Event::Init(t)
+            | Event::Call { txn: t, .. }
+            | Event::Commit(t)
+            | Event::Abort(t)
+            | Event::Aborted(t) => t,
+        }
+    }
+}
+
+/// A finite history `h`: a sequence of events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct History<Op, Resp> {
+    /// The events in program order.
+    pub events: Vec<Event<Op, Resp>>,
+}
+
+impl<Op: Clone, Resp: Clone> History<Op, Resp> {
+    /// An empty history.
+    pub fn new() -> Self {
+        History { events: Vec::new() }
+    }
+
+    /// The projection `h|T`: the subsequence of `T`'s events.
+    pub fn project(&self, t: TxnLabel) -> History<Op, Resp> {
+        History {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.txn() == t)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Labels of all transactions with a `⟨T commit⟩` event, in commit
+    /// order.
+    pub fn commit_order(&self) -> Vec<TxnLabel> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Commit(t) => Some(*t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Labels of all transactions with a `⟨T aborted⟩` (or bare
+    /// `⟨T abort⟩`) event.
+    pub fn aborted(&self) -> Vec<TxnLabel> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Abort(t) | Event::Aborted(t) => Some(*t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The paper's `committed(h)` restricted to forward method calls:
+    /// for each committed transaction, in commit order, its sequence of
+    /// non-inverse `(op, resp)` calls. This is the object the
+    /// strict-serializability check consumes.
+    pub fn committed_calls(&self) -> Vec<(TxnLabel, Vec<(Op, Resp)>)> {
+        self.commit_order()
+            .into_iter()
+            .map(|t| {
+                let calls = self
+                    .events
+                    .iter()
+                    .filter_map(|e| match e {
+                        Event::Call {
+                            txn,
+                            op,
+                            resp,
+                            inverse: false,
+                        } if *txn == t => Some((op.clone(), resp.clone())),
+                        _ => None,
+                    })
+                    .collect();
+                (t, calls)
+            })
+            .collect()
+    }
+
+    /// Check the paper's implicit well-formedness conditions on each
+    /// per-transaction projection: at most one `init` (and only first),
+    /// forward calls only while neither committed nor aborting, at most
+    /// one of commit/abort, inverse calls only between `⟨T abort⟩` and
+    /// `⟨T aborted⟩`. Returns the offending transaction on failure.
+    pub fn check_well_formed(&self) -> Result<(), TxnLabel> {
+        use std::collections::HashMap;
+        #[derive(Clone, Copy, PartialEq)]
+        enum Phase {
+            Fresh,
+            Active,
+            Committed,
+            Aborting,
+            Aborted,
+        }
+        let mut phases: HashMap<TxnLabel, Phase> = HashMap::new();
+        for e in &self.events {
+            let t = e.txn();
+            let phase = phases.entry(t).or_insert(Phase::Fresh);
+            let next = match (e, *phase) {
+                (Event::Init(_), Phase::Fresh) => Phase::Active,
+                // Recorders may skip the explicit init event.
+                (Event::Call { inverse: false, .. }, Phase::Fresh | Phase::Active) => {
+                    Phase::Active
+                }
+                (Event::Commit(_), Phase::Fresh | Phase::Active) => Phase::Committed,
+                (Event::Abort(_), Phase::Fresh | Phase::Active) => Phase::Aborting,
+                (Event::Call { inverse: true, .. }, Phase::Aborting) => Phase::Aborting,
+                (Event::Aborted(_), Phase::Aborting) => Phase::Aborted,
+                _ => return Err(t),
+            };
+            *phase = next;
+        }
+        Ok(())
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, e: Event<Op, Resp>) {
+        self.events.push(e);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type E = Event<&'static str, bool>;
+
+    fn call(t: u64, op: &'static str, resp: bool) -> E {
+        Event::Call {
+            txn: TxnLabel(t),
+            op,
+            resp,
+            inverse: false,
+        }
+    }
+
+    #[test]
+    fn projection_filters_by_transaction() {
+        let mut h = History::new();
+        h.push(E::Init(TxnLabel(1)));
+        h.push(E::Init(TxnLabel(2)));
+        h.push(call(1, "add(3)", true));
+        h.push(call(2, "contains(3)", false));
+        h.push(E::Commit(TxnLabel(2)));
+        h.push(E::Commit(TxnLabel(1)));
+        let p = h.project(TxnLabel(1));
+        assert_eq!(p.len(), 3);
+        assert!(p.events.iter().all(|e| e.txn() == TxnLabel(1)));
+    }
+
+    #[test]
+    fn commit_order_is_event_order() {
+        let mut h: History<&str, bool> = History::new();
+        h.push(E::Commit(TxnLabel(2)));
+        h.push(E::Commit(TxnLabel(1)));
+        assert_eq!(h.commit_order(), vec![TxnLabel(2), TxnLabel(1)]);
+    }
+
+    #[test]
+    fn well_formedness_accepts_proper_histories() {
+        let mut h = History::new();
+        h.push(E::Init(TxnLabel(1)));
+        h.push(call(1, "add(1)", true));
+        h.push(E::Commit(TxnLabel(1)));
+        h.push(E::Init(TxnLabel(2)));
+        h.push(call(2, "add(2)", true));
+        h.push(E::Abort(TxnLabel(2)));
+        h.push(Event::Call {
+            txn: TxnLabel(2),
+            op: "remove(2)",
+            resp: true,
+            inverse: true,
+        });
+        h.push(E::Aborted(TxnLabel(2)));
+        assert_eq!(h.check_well_formed(), Ok(()));
+    }
+
+    #[test]
+    fn well_formedness_rejects_calls_after_commit() {
+        let mut h = History::new();
+        h.push(call(1, "add(1)", true));
+        h.push(E::Commit(TxnLabel(1)));
+        h.push(call(1, "add(2)", true));
+        assert_eq!(h.check_well_formed(), Err(TxnLabel(1)));
+    }
+
+    #[test]
+    fn well_formedness_rejects_inverse_outside_aborting_window() {
+        let mut h = History::new();
+        h.push(Event::Call {
+            txn: TxnLabel(3),
+            op: "remove(2)",
+            resp: true,
+            inverse: true,
+        });
+        assert_eq!(h.check_well_formed(), Err(TxnLabel(3)));
+    }
+
+    #[test]
+    fn well_formedness_rejects_double_commit() {
+        let mut h: History<&str, bool> = History::new();
+        h.push(E::Commit(TxnLabel(1)));
+        h.push(E::Commit(TxnLabel(1)));
+        assert_eq!(h.check_well_formed(), Err(TxnLabel(1)));
+    }
+
+    #[test]
+    fn committed_calls_exclude_aborted_and_inverse() {
+        let mut h = History::new();
+        h.push(call(1, "add(1)", true));
+        h.push(call(2, "add(2)", true));
+        h.push(E::Abort(TxnLabel(2)));
+        h.push(Event::Call {
+            txn: TxnLabel(2),
+            op: "remove(2)",
+            resp: true,
+            inverse: true,
+        });
+        h.push(E::Aborted(TxnLabel(2)));
+        h.push(E::Commit(TxnLabel(1)));
+        let cc = h.committed_calls();
+        assert_eq!(cc.len(), 1);
+        assert_eq!(cc[0].0, TxnLabel(1));
+        assert_eq!(cc[0].1, vec![("add(1)", true)]);
+        assert_eq!(h.aborted(), vec![TxnLabel(2), TxnLabel(2)]);
+    }
+}

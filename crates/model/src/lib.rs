@@ -1,0 +1,45 @@
+//! # txboost-model — the paper's formal model, executable
+//!
+//! Section 5 of Herlihy & Koskinen's paper develops a model of event
+//! histories (adapted from Weihl's atomicity model and Herlihy & Wing's
+//! linearizability) and proves that any system obeying four rules —
+//! linearizability of the base object, commutativity isolation,
+//! compensating actions, and disposable-method discipline — produces
+//! strictly serializable histories (Theorem 5.3) and leaves no trace of
+//! aborted transactions (Theorem 5.4).
+//!
+//! This crate turns that model into *checkers* that run against real
+//! executions of the boosted collections:
+//!
+//! * [`event`] — transactional events (`⟨T init⟩`, `⟨T, x.m(v)⟩ · ⟨T, r⟩`,
+//!   `⟨T commit⟩`, …), histories, and projections (`h|T`).
+//! * [`spec`] — sequential specifications of the paper's abstract
+//!   objects (Set, PQueue, FIFO queue, unique-ID generator, counter) as
+//!   acceptance relations `step(state, op, resp) → Option<state>`,
+//!   which accommodates nondeterministic specs such as `assignID`.
+//! * [`check`] — Definitions 5.2–5.5 made executable: legality,
+//!   same-state, method-call **inverses** (Def. 5.3), **commutativity**
+//!   (Def. 5.4), and **disposability** (Def. 5.5), each verified by
+//!   exhaustive quantification over caller-supplied state/ sequence
+//!   enumerations.
+//! * [`serial`] — Definition 5.1: strict serializability. Both the
+//!   dynamic-atomicity check the paper assumes (replay committed
+//!   transactions in commit order) and a general backtracking search
+//!   over serialization orders consistent with real-time precedence.
+//! * [`record`] — a [`record::HistoryRecorder`] for instrumenting
+//!   concurrent test runs of the real boosted objects, so Theorems 5.3
+//!   and 5.4 can be property-tested rather than trusted.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod event;
+pub mod record;
+pub mod serial;
+pub mod spec;
+
+pub use check::{calls_commute, is_disposable, is_inverse_of, legal, replay, same_state};
+pub use event::{Event, History, TxnLabel};
+pub use record::HistoryRecorder;
+pub use serial::{check_commit_order_serializable, search_serialization, SerializabilityError};
+pub use spec::{Call, CounterSpec, IdGenSpec, PQueueSpec, QueueSpec, SequentialSpec, SetSpec};

@@ -1,0 +1,147 @@
+//! Property-based validation of the Section 5 checkers themselves.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use txboost_model::spec::{SetOp, SetSpec};
+use txboost_model::{
+    calls_commute, check_commit_order_serializable, is_inverse_of, legal, replay,
+    search_serialization, Call, SequentialSpec, TxnLabel,
+};
+
+fn arb_set_call() -> impl Strategy<Value = Call<SetOp, bool>> {
+    (0..5i64, 0..3u8, proptest::bool::ANY).prop_map(|(k, w, r)| {
+        let op = match w {
+            0 => SetOp::Add(k),
+            1 => SetOp::Remove(k),
+            _ => SetOp::Contains(k),
+        };
+        Call::new(op, r)
+    })
+}
+
+fn all_states(n: u8) -> Vec<BTreeSet<i64>> {
+    (0u32..(1 << n))
+        .map(|mask| {
+            (0..n as i64)
+                .filter(|k| mask & (1 << k) != 0)
+                .collect::<BTreeSet<_>>()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Definition 5.4 is symmetric: commute(a, b) == commute(b, a).
+    #[test]
+    fn commutativity_is_symmetric(a in arb_set_call(), b in arb_set_call()) {
+        let states = all_states(5);
+        prop_assert_eq!(
+            calls_commute(&SetSpec, states.clone(), &a, &b),
+            calls_commute(&SetSpec, states, &b, &a)
+        );
+    }
+
+    /// Calls on distinct keys always commute (the basis of `LockKey`).
+    #[test]
+    fn distinct_key_calls_always_commute(a in arb_set_call(), b in arb_set_call()) {
+        fn key(c: &Call<SetOp, bool>) -> i64 {
+            match c.op {
+                SetOp::Add(k) | SetOp::Remove(k) | SetOp::Contains(k) => k,
+            }
+        }
+        prop_assume!(key(&a) != key(&b));
+        prop_assert!(calls_commute(&SetSpec, all_states(5), &a, &b));
+    }
+
+    /// Figure 1's inverse table is correct for every call, and the
+    /// inverse relation verified by the Definition 5.3 checker.
+    #[test]
+    fn figure_1_inverse_always_verifies(c in arb_set_call()) {
+        let inv = SetSpec::inverse(&c);
+        prop_assert!(is_inverse_of(&SetSpec, all_states(5), &c, inv.as_ref()));
+    }
+
+    /// A legal sequence followed by its inverses in reverse order is a
+    /// no-op — Rule 3's guarantee, derived from Definition 5.3.
+    #[test]
+    fn inverse_replay_restores_any_state(
+        ops in proptest::collection::vec((0..5i64, proptest::bool::ANY), 0..10),
+        seed in proptest::collection::vec(0..5i64, 0..5),
+    ) {
+        let spec = SetSpec;
+        let start: BTreeSet<i64> = seed.into_iter().collect();
+        // Build a legal forward sequence by computing true responses.
+        let mut state = start.clone();
+        let mut calls = Vec::new();
+        for (k, is_add) in ops {
+            let op = if is_add { SetOp::Add(k) } else { SetOp::Remove(k) };
+            let resp_true = spec.step(&state, &op, &true);
+            let (resp, next) = match resp_true {
+                Some(n) => (true, n),
+                None => (false, spec.step(&state, &op, &false).unwrap()),
+            };
+            calls.push(Call::new(op, resp));
+            state = next;
+        }
+        // Append inverses in reverse.
+        let mut seq = calls.clone();
+        for c in calls.iter().rev() {
+            if let Some(inv) = SetSpec::inverse(c) {
+                seq.push(inv);
+            }
+        }
+        let end = replay(&spec, &start, &seq);
+        prop_assert_eq!(end, Some(start));
+    }
+
+    /// Whenever commit-order replay succeeds, the general serialization
+    /// search (with total commit-order precedence) also succeeds — and
+    /// returns the commit order itself as a witness.
+    #[test]
+    fn commit_order_success_implies_search_success(
+        txns in proptest::collection::vec(
+            proptest::collection::vec((0..4i64, proptest::bool::ANY), 1..3),
+            1..5
+        )
+    ) {
+        // Construct committed transactions with *correct* responses by
+        // replaying in order.
+        let spec = SetSpec;
+        let mut state = spec.initial();
+        let committed: Vec<(TxnLabel, Vec<(SetOp, bool)>)> = txns
+            .into_iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                let calls = ops
+                    .into_iter()
+                    .map(|(k, is_add)| {
+                        let op = if is_add { SetOp::Add(k) } else { SetOp::Remove(k) };
+                        let resp = spec.step(&state, &op, &true).is_some();
+                        state = spec.step(&state, &op, &resp).unwrap();
+                        (op, resp)
+                    })
+                    .collect();
+                (TxnLabel(i as u64 + 1), calls)
+            })
+            .collect();
+        prop_assert!(check_commit_order_serializable(&spec, &committed).is_ok());
+        let precedence: Vec<(TxnLabel, TxnLabel)> = committed
+            .windows(2)
+            .map(|w| (w[0].0, w[1].0))
+            .collect();
+        let witness = search_serialization(&spec, &committed, &precedence);
+        prop_assert_eq!(
+            witness,
+            Some(committed.iter().map(|(l, _)| *l).collect::<Vec<_>>())
+        );
+    }
+
+    /// `legal` accepts exactly the sequences `replay` can fold.
+    #[test]
+    fn legal_and_replay_agree(calls in proptest::collection::vec(arb_set_call(), 0..12)) {
+        let spec = SetSpec;
+        let init = spec.initial();
+        prop_assert_eq!(legal(&spec, &init, &calls), replay(&spec, &init, &calls).is_some());
+    }
+}

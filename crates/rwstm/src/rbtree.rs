@@ -1,0 +1,673 @@
+//! The transactional red-black tree over read/write conflicts —
+//! Figure 9's baseline competitor.
+//!
+//! This is the same CLRS red-black tree as
+//! `txboost_linearizable::rbtree`, but every node lives in its own
+//! [`StmVar`]: each node access joins the transaction's read set, and
+//! each node mutation buffers a whole-node copy in the write set —
+//! precisely DSTM2's per-object shadow-copy discipline. Two
+//! transactions conflict whenever their paths touch a common node, even
+//! when their *set operations* commute (e.g. `add(2)` and `add(4)` both
+//! read the root), which is the false-conflict cost the paper measures
+//! against boosting.
+//!
+//! Nodes are allocated from an append-only arena with a free list.
+//! Allocation is non-transactional (an aborted inserter leaks its fresh
+//! node until the free list reclaims removed slots); unlinked nodes are
+//! returned to the free list by the *committed* remover only, via a
+//! transactional free-list head — so a node slot is never reused while
+//! any committed tree still references it.
+
+use crate::stm::{StmTxn, StmVar};
+use parking_lot::Mutex;
+use txboost_core::TxResult;
+
+const NIL: usize = usize::MAX;
+
+/// Node colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+#[derive(Debug, Clone)]
+struct NodeData<K> {
+    key: K,
+    color: Color,
+    left: usize,
+    right: usize,
+    parent: usize,
+    /// Intrusive free-list link, used only while the slot is free.
+    next_free: usize,
+}
+
+/// A sorted integer-style set on a red-black tree whose conflict
+/// detection is purely read/write-based. All operations must run inside
+/// an [`crate::Stm`] transaction.
+pub struct StmRbTreeSet<K> {
+    root: StmVar<usize>,
+    /// Transactional head of the free list (slot indices).
+    free_head: StmVar<usize>,
+    arena: Mutex<Vec<StmVar<NodeData<K>>>>,
+}
+
+impl<K: Ord + Clone + Send + Sync + 'static> Default for StmRbTreeSet<K> {
+    fn default() -> Self {
+        StmRbTreeSet::new()
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync + 'static> StmRbTreeSet<K> {
+    /// An empty set.
+    pub fn new() -> Self {
+        StmRbTreeSet {
+            root: StmVar::new(NIL),
+            free_head: StmVar::new(NIL),
+            arena: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn var(&self, i: usize) -> StmVar<NodeData<K>> {
+        self.arena.lock()[i].clone()
+    }
+
+    fn get(&self, txn: &mut StmTxn<'_>, i: usize) -> TxResult<NodeData<K>> {
+        self.var(i).read(txn)
+    }
+
+    fn put(&self, txn: &mut StmTxn<'_>, i: usize, d: NodeData<K>) {
+        self.var(i).write(txn, d);
+    }
+
+    fn update(
+        &self,
+        txn: &mut StmTxn<'_>,
+        i: usize,
+        f: impl FnOnce(&mut NodeData<K>),
+    ) -> TxResult<()> {
+        let mut d = self.get(txn, i)?;
+        f(&mut d);
+        self.put(txn, i, d);
+        Ok(())
+    }
+
+    fn color(&self, txn: &mut StmTxn<'_>, i: usize) -> TxResult<Color> {
+        if i == NIL {
+            Ok(Color::Black)
+        } else {
+            Ok(self.get(txn, i)?.color)
+        }
+    }
+
+    fn set_color(&self, txn: &mut StmTxn<'_>, i: usize, c: Color) -> TxResult<()> {
+        if i != NIL {
+            self.update(txn, i, |d| d.color = c)?;
+        }
+        Ok(())
+    }
+
+    /// Allocate a slot: reuse from the transactional free list if
+    /// possible, else push a new `StmVar` (non-transactional append;
+    /// harmless if the transaction later aborts — the slot is simply
+    /// garbage until process exit).
+    fn alloc(&self, txn: &mut StmTxn<'_>, key: K) -> TxResult<usize> {
+        let data = NodeData {
+            key,
+            color: Color::Red,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            next_free: NIL,
+        };
+        let head = self.free_head.read(txn)?;
+        if head != NIL {
+            let old = self.get(txn, head)?;
+            self.free_head.write(txn, old.next_free);
+            self.put(txn, head, data);
+            return Ok(head);
+        }
+        let mut arena = self.arena.lock();
+        arena.push(StmVar::new(data));
+        Ok(arena.len() - 1)
+    }
+
+    fn free(&self, txn: &mut StmTxn<'_>, i: usize) -> TxResult<()> {
+        let head = self.free_head.read(txn)?;
+        self.update(txn, i, |d| d.next_free = head)?;
+        self.free_head.write(txn, i);
+        Ok(())
+    }
+
+    /// Whether `key` is in the set.
+    pub fn contains(&self, txn: &mut StmTxn<'_>, key: &K) -> TxResult<bool> {
+        Ok(self.find_node(txn, key)? != NIL)
+    }
+
+    fn find_node(&self, txn: &mut StmTxn<'_>, key: &K) -> TxResult<usize> {
+        let mut x = self.root.read(txn)?;
+        while x != NIL {
+            let d = self.get(txn, x)?;
+            match key.cmp(&d.key) {
+                std::cmp::Ordering::Less => x = d.left,
+                std::cmp::Ordering::Greater => x = d.right,
+                std::cmp::Ordering::Equal => return Ok(x),
+            }
+        }
+        Ok(NIL)
+    }
+
+    /// Insert `key`; returns `true` iff the set changed.
+    pub fn add(&self, txn: &mut StmTxn<'_>, key: K) -> TxResult<bool> {
+        let mut parent = NIL;
+        let mut x = self.root.read(txn)?;
+        while x != NIL {
+            parent = x;
+            let d = self.get(txn, x)?;
+            match key.cmp(&d.key) {
+                std::cmp::Ordering::Less => x = d.left,
+                std::cmp::Ordering::Greater => x = d.right,
+                std::cmp::Ordering::Equal => return Ok(false),
+            }
+        }
+        let z = self.alloc(txn, key.clone())?;
+        self.update(txn, z, |d| d.parent = parent)?;
+        if parent == NIL {
+            self.root.write(txn, z);
+        } else {
+            let pd = self.get(txn, parent)?;
+            if key < pd.key {
+                self.update(txn, parent, |d| d.left = z)?;
+            } else {
+                self.update(txn, parent, |d| d.right = z)?;
+            }
+        }
+        self.insert_fixup(txn, z)?;
+        Ok(true)
+    }
+
+    fn rotate_left(&self, txn: &mut StmTxn<'_>, x: usize) -> TxResult<()> {
+        let xd = self.get(txn, x)?;
+        let y = xd.right;
+        let yd = self.get(txn, y)?;
+        let yl = yd.left;
+        self.update(txn, x, |d| d.right = yl)?;
+        if yl != NIL {
+            self.update(txn, yl, |d| d.parent = x)?;
+        }
+        let xp = xd.parent;
+        self.update(txn, y, |d| d.parent = xp)?;
+        if xp == NIL {
+            self.root.write(txn, y);
+        } else {
+            self.update(txn, xp, |d| {
+                if d.left == x {
+                    d.left = y;
+                } else {
+                    d.right = y;
+                }
+            })?;
+        }
+        self.update(txn, y, |d| d.left = x)?;
+        self.update(txn, x, |d| d.parent = y)?;
+        Ok(())
+    }
+
+    fn rotate_right(&self, txn: &mut StmTxn<'_>, x: usize) -> TxResult<()> {
+        let xd = self.get(txn, x)?;
+        let y = xd.left;
+        let yd = self.get(txn, y)?;
+        let yr = yd.right;
+        self.update(txn, x, |d| d.left = yr)?;
+        if yr != NIL {
+            self.update(txn, yr, |d| d.parent = x)?;
+        }
+        let xp = xd.parent;
+        self.update(txn, y, |d| d.parent = xp)?;
+        if xp == NIL {
+            self.root.write(txn, y);
+        } else {
+            self.update(txn, xp, |d| {
+                if d.left == x {
+                    d.left = y;
+                } else {
+                    d.right = y;
+                }
+            })?;
+        }
+        self.update(txn, y, |d| d.right = x)?;
+        self.update(txn, x, |d| d.parent = y)?;
+        Ok(())
+    }
+
+    fn parent_of(&self, txn: &mut StmTxn<'_>, i: usize) -> TxResult<usize> {
+        if i == NIL {
+            Ok(NIL)
+        } else {
+            Ok(self.get(txn, i)?.parent)
+        }
+    }
+
+    fn insert_fixup(&self, txn: &mut StmTxn<'_>, mut z: usize) -> TxResult<()> {
+        loop {
+            let p = self.parent_of(txn, z)?;
+            if self.color(txn, p)? != Color::Red {
+                break;
+            }
+            let g = self.parent_of(txn, p)?;
+            let gd = self.get(txn, g)?;
+            if p == gd.left {
+                let u = gd.right;
+                if self.color(txn, u)? == Color::Red {
+                    self.set_color(txn, p, Color::Black)?;
+                    self.set_color(txn, u, Color::Black)?;
+                    self.set_color(txn, g, Color::Red)?;
+                    z = g;
+                } else {
+                    if z == self.get(txn, p)?.right {
+                        z = p;
+                        self.rotate_left(txn, z)?;
+                    }
+                    let p = self.parent_of(txn, z)?;
+                    let g = self.parent_of(txn, p)?;
+                    self.set_color(txn, p, Color::Black)?;
+                    self.set_color(txn, g, Color::Red)?;
+                    self.rotate_right(txn, g)?;
+                }
+            } else {
+                let u = gd.left;
+                if self.color(txn, u)? == Color::Red {
+                    self.set_color(txn, p, Color::Black)?;
+                    self.set_color(txn, u, Color::Black)?;
+                    self.set_color(txn, g, Color::Red)?;
+                    z = g;
+                } else {
+                    if z == self.get(txn, p)?.left {
+                        z = p;
+                        self.rotate_right(txn, z)?;
+                    }
+                    let p = self.parent_of(txn, z)?;
+                    let g = self.parent_of(txn, p)?;
+                    self.set_color(txn, p, Color::Black)?;
+                    self.set_color(txn, g, Color::Red)?;
+                    self.rotate_left(txn, g)?;
+                }
+            }
+        }
+        let r = self.root.read(txn)?;
+        self.set_color(txn, r, Color::Black)?;
+        Ok(())
+    }
+
+    fn minimum(&self, txn: &mut StmTxn<'_>, mut x: usize) -> TxResult<usize> {
+        loop {
+            let l = self.get(txn, x)?.left;
+            if l == NIL {
+                return Ok(x);
+            }
+            x = l;
+        }
+    }
+
+    fn transplant(&self, txn: &mut StmTxn<'_>, u: usize, v: usize) -> TxResult<()> {
+        let up = self.get(txn, u)?.parent;
+        if up == NIL {
+            self.root.write(txn, v);
+        } else {
+            self.update(txn, up, |d| {
+                if d.left == u {
+                    d.left = v;
+                } else {
+                    d.right = v;
+                }
+            })?;
+        }
+        if v != NIL {
+            self.update(txn, v, |d| d.parent = up)?;
+        }
+        Ok(())
+    }
+
+    /// Remove `key`; returns `true` iff the set changed.
+    pub fn remove(&self, txn: &mut StmTxn<'_>, key: &K) -> TxResult<bool> {
+        let z = self.find_node(txn, key)?;
+        if z == NIL {
+            return Ok(false);
+        }
+        let zd = self.get(txn, z)?;
+        let mut y_color = zd.color;
+        let x;
+        let x_parent;
+        if zd.left == NIL {
+            x = zd.right;
+            x_parent = zd.parent;
+            self.transplant(txn, z, x)?;
+        } else if zd.right == NIL {
+            x = zd.left;
+            x_parent = zd.parent;
+            self.transplant(txn, z, x)?;
+        } else {
+            let y = self.minimum(txn, zd.right)?;
+            let yd = self.get(txn, y)?;
+            y_color = yd.color;
+            x = yd.right;
+            if yd.parent == z {
+                x_parent = y;
+            } else {
+                x_parent = yd.parent;
+                self.transplant(txn, y, x)?;
+                let zr = self.get(txn, z)?.right;
+                self.update(txn, y, |d| d.right = zr)?;
+                self.update(txn, zr, |d| d.parent = y)?;
+            }
+            self.transplant(txn, z, y)?;
+            let zl = self.get(txn, z)?.left;
+            self.update(txn, y, |d| d.left = zl)?;
+            self.update(txn, zl, |d| d.parent = y)?;
+            let zc = self.get(txn, z)?.color;
+            self.set_color(txn, y, zc)?;
+        }
+        self.free(txn, z)?;
+        if y_color == Color::Black {
+            self.delete_fixup(txn, x, x_parent)?;
+        }
+        Ok(true)
+    }
+
+    fn delete_fixup(
+        &self,
+        txn: &mut StmTxn<'_>,
+        mut x: usize,
+        mut x_parent: usize,
+    ) -> TxResult<()> {
+        loop {
+            let root = self.root.read(txn)?;
+            if x == root || self.color(txn, x)? != Color::Black || x_parent == NIL {
+                break;
+            }
+            let pd = self.get(txn, x_parent)?;
+            if x == pd.left {
+                let mut w = pd.right;
+                if self.color(txn, w)? == Color::Red {
+                    self.set_color(txn, w, Color::Black)?;
+                    self.set_color(txn, x_parent, Color::Red)?;
+                    self.rotate_left(txn, x_parent)?;
+                    w = self.get(txn, x_parent)?.right;
+                }
+                let wd = self.get(txn, w)?;
+                if self.color(txn, wd.left)? == Color::Black
+                    && self.color(txn, wd.right)? == Color::Black
+                {
+                    self.set_color(txn, w, Color::Red)?;
+                    x = x_parent;
+                    x_parent = self.parent_of(txn, x)?;
+                } else {
+                    if self.color(txn, wd.right)? == Color::Black {
+                        let wl = self.get(txn, w)?.left;
+                        self.set_color(txn, wl, Color::Black)?;
+                        self.set_color(txn, w, Color::Red)?;
+                        self.rotate_right(txn, w)?;
+                        w = self.get(txn, x_parent)?.right;
+                    }
+                    let pc = self.color(txn, x_parent)?;
+                    self.set_color(txn, w, pc)?;
+                    self.set_color(txn, x_parent, Color::Black)?;
+                    let wr = self.get(txn, w)?.right;
+                    self.set_color(txn, wr, Color::Black)?;
+                    self.rotate_left(txn, x_parent)?;
+                    x = self.root.read(txn)?;
+                    x_parent = NIL;
+                }
+            } else {
+                let mut w = pd.left;
+                if self.color(txn, w)? == Color::Red {
+                    self.set_color(txn, w, Color::Black)?;
+                    self.set_color(txn, x_parent, Color::Red)?;
+                    self.rotate_right(txn, x_parent)?;
+                    w = self.get(txn, x_parent)?.left;
+                }
+                let wd = self.get(txn, w)?;
+                if self.color(txn, wd.right)? == Color::Black
+                    && self.color(txn, wd.left)? == Color::Black
+                {
+                    self.set_color(txn, w, Color::Red)?;
+                    x = x_parent;
+                    x_parent = self.parent_of(txn, x)?;
+                } else {
+                    if self.color(txn, wd.left)? == Color::Black {
+                        let wr = self.get(txn, w)?.right;
+                        self.set_color(txn, wr, Color::Black)?;
+                        self.set_color(txn, w, Color::Red)?;
+                        self.rotate_left(txn, w)?;
+                        w = self.get(txn, x_parent)?.left;
+                    }
+                    let pc = self.color(txn, x_parent)?;
+                    self.set_color(txn, w, pc)?;
+                    self.set_color(txn, x_parent, Color::Black)?;
+                    let wl = self.get(txn, w)?.left;
+                    self.set_color(txn, wl, Color::Black)?;
+                    self.rotate_right(txn, x_parent)?;
+                    x = self.root.read(txn)?;
+                    x_parent = NIL;
+                }
+            }
+        }
+        self.set_color(txn, x, Color::Black)?;
+        Ok(())
+    }
+
+    /// Keys in ascending order (run inside a transaction for a
+    /// consistent snapshot).
+    pub fn to_sorted_vec(&self, txn: &mut StmTxn<'_>) -> TxResult<Vec<K>> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        let mut x = self.root.read(txn)?;
+        while x != NIL || !stack.is_empty() {
+            while x != NIL {
+                stack.push(x);
+                x = self.get(txn, x)?.left;
+            }
+            let n = stack.pop().unwrap();
+            let d = self.get(txn, n)?;
+            out.push(d.key.clone());
+            x = d.right;
+        }
+        Ok(out)
+    }
+
+    /// Validate every red-black invariant within a transaction; returns
+    /// the black height.
+    pub fn check_invariants(&self, txn: &mut StmTxn<'_>) -> TxResult<Result<usize, String>> {
+        let root = self.root.read(txn)?;
+        if root != NIL && self.get(txn, root)?.color == Color::Red {
+            return Ok(Err("root is red".into()));
+        }
+        self.check_subtree(txn, root, None, None)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn check_subtree(
+        &self,
+        txn: &mut StmTxn<'_>,
+        x: usize,
+        min: Option<&K>,
+        max: Option<&K>,
+    ) -> TxResult<Result<usize, String>> {
+        if x == NIL {
+            return Ok(Ok(1));
+        }
+        let d = self.get(txn, x)?;
+        if let Some(lo) = min {
+            if d.key <= *lo {
+                return Ok(Err("BST order violated (left bound)".into()));
+            }
+        }
+        if let Some(hi) = max {
+            if d.key >= *hi {
+                return Ok(Err("BST order violated (right bound)".into()));
+            }
+        }
+        if d.color == Color::Red
+            && (self.color(txn, d.left)? == Color::Red || self.color(txn, d.right)? == Color::Red)
+        {
+            return Ok(Err("red node has a red child".into()));
+        }
+        let lh = match self.check_subtree(txn, d.left, min, Some(&d.key))? {
+            Ok(h) => h,
+            e @ Err(_) => return Ok(e),
+        };
+        let rh = match self.check_subtree(txn, d.right, Some(&d.key), max)? {
+            Ok(h) => h,
+            e @ Err(_) => return Ok(e),
+        };
+        if lh != rh {
+            return Ok(Err(format!("black-height mismatch: {lh} vs {rh}")));
+        }
+        Ok(Ok(lh + if d.color == Color::Black { 1 } else { 0 }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stm;
+    use rand::prelude::*;
+    use std::collections::BTreeSet;
+    use txboost_core::TxnConfig;
+
+    #[test]
+    fn basic_add_remove_contains_in_transactions() {
+        let stm = Stm::default();
+        let t = StmRbTreeSet::new();
+        assert!(stm.run(|txn| t.add(txn, 5)).unwrap());
+        assert!(!stm.run(|txn| t.add(txn, 5)).unwrap());
+        assert!(stm.run(|txn| t.contains(txn, &5)).unwrap());
+        assert!(stm.run(|txn| t.remove(txn, &5)).unwrap());
+        assert!(!stm.run(|txn| t.remove(txn, &5)).unwrap());
+        assert!(!stm.run(|txn| t.contains(txn, &5)).unwrap());
+    }
+
+    #[test]
+    fn multi_op_transaction_is_atomic() {
+        let stm = Stm::new(TxnConfig {
+            max_retries: Some(0),
+            ..TxnConfig::default()
+        });
+        let t = StmRbTreeSet::new();
+        // Abort after two adds: neither survives.
+        let r: Result<(), _> = stm.run(|txn| {
+            t.add(txn, 1)?;
+            t.add(txn, 2)?;
+            Err(txboost_core::Abort::explicit())
+        });
+        assert!(r.is_err());
+        assert!(!stm.run(|txn| t.contains(txn, &1)).unwrap());
+        assert!(!stm.run(|txn| t.contains(txn, &2)).unwrap());
+    }
+
+    #[test]
+    fn matches_btreeset_oracle_with_invariants() {
+        let stm = Stm::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = StmRbTreeSet::new();
+        let mut oracle = BTreeSet::new();
+        for step in 0..4_000 {
+            let k: i32 = rng.random_range(0..150);
+            match rng.random_range(0..3) {
+                0 => assert_eq!(
+                    stm.run(|txn| t.add(txn, k)).unwrap(),
+                    oracle.insert(k),
+                    "step {step} add({k})"
+                ),
+                1 => assert_eq!(
+                    stm.run(|txn| t.remove(txn, &k)).unwrap(),
+                    oracle.remove(&k),
+                    "step {step} remove({k})"
+                ),
+                _ => assert_eq!(
+                    stm.run(|txn| t.contains(txn, &k)).unwrap(),
+                    oracle.contains(&k),
+                    "step {step} contains({k})"
+                ),
+            }
+            if step % 256 == 0 {
+                stm.run(|txn| t.check_invariants(txn))
+                    .unwrap()
+                    .unwrap_or_else(|e| panic!("step {step}: {e}"));
+            }
+        }
+        assert_eq!(
+            stm.run(|txn| t.to_sorted_vec(txn)).unwrap(),
+            oracle.iter().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn concurrent_disjoint_adds_commit_with_false_conflicts() {
+        let stm = std::sync::Arc::new(Stm::default());
+        let t = std::sync::Arc::new(StmRbTreeSet::new());
+        let threads = 4;
+        let per = 200i64;
+        crossbeam::scope(|s| {
+            for th in 0..threads {
+                let (stm, t) = (std::sync::Arc::clone(&stm), std::sync::Arc::clone(&t));
+                s.spawn(move |_| {
+                    for i in 0..per {
+                        let k = th * per + i;
+                        assert!(stm.run(|txn| t.add(txn, k)).unwrap());
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let snap = stm.run(|txn| t.to_sorted_vec(txn)).unwrap();
+        assert_eq!(snap.len(), (threads * per) as usize);
+        stm.run(|txn| t.check_invariants(txn)).unwrap().unwrap();
+        // (False-conflict abort rates are measured by the figures
+        // harness at benchmark scale; at test scale the counts are
+        // scheduling dependent.)
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_stays_a_set() {
+        let stm = std::sync::Arc::new(Stm::default());
+        let t = std::sync::Arc::new(StmRbTreeSet::new());
+        crossbeam::scope(|s| {
+            for th in 0..4 {
+                let (stm, t) = (std::sync::Arc::clone(&stm), std::sync::Arc::clone(&t));
+                s.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(th);
+                    for _ in 0..300 {
+                        let k: i64 = rng.random_range(0..40);
+                        if rng.random_bool(0.5) {
+                            stm.run(|txn| t.add(txn, k)).unwrap();
+                        } else {
+                            stm.run(|txn| t.remove(txn, &k)).unwrap();
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let snap = stm.run(|txn| t.to_sorted_vec(txn)).unwrap();
+        assert!(snap.windows(2).all(|w| w[0] < w[1]), "duplicates in set");
+        stm.run(|txn| t.check_invariants(txn)).unwrap().unwrap();
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let stm = Stm::default();
+        let t = StmRbTreeSet::new();
+        for i in 0..50 {
+            stm.run(|txn| t.add(txn, i)).unwrap();
+        }
+        for i in 0..50 {
+            stm.run(|txn| t.remove(txn, &i)).unwrap();
+        }
+        let allocated = t.arena.lock().len();
+        for i in 50..100 {
+            stm.run(|txn| t.add(txn, i)).unwrap();
+        }
+        assert_eq!(t.arena.lock().len(), allocated, "free list not reused");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the TL2-style STM baseline.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use txboost_core::{Abort, TxnConfig};
+use txboost_rwstm::listset::StmListSet;
+use txboost_rwstm::rbtree::StmRbTreeSet;
+use txboost_rwstm::{Stm, StmVar};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The STM red-black tree under arbitrary transaction batches with
+    /// aborts matches a committed-only oracle, and keeps its red-black
+    /// invariants.
+    #[test]
+    fn stm_rbtree_matches_committed_oracle(
+        txns in proptest::collection::vec(
+            (proptest::collection::vec((0..24i32, proptest::bool::ANY), 1..4),
+             proptest::bool::weighted(0.3)),
+            0..30
+        )
+    ) {
+        let stm = Stm::default();
+        let tree = StmRbTreeSet::new();
+        let mut oracle = BTreeSet::new();
+        for (ops, doomed) in txns {
+            let mut staged = oracle.clone();
+            let r = stm.run(|t| {
+                for &(k, is_add) in &ops {
+                    if is_add {
+                        tree.add(t, k)?;
+                    } else {
+                        tree.remove(t, &k)?;
+                    }
+                }
+                if doomed {
+                    return Err(Abort::explicit());
+                }
+                Ok(())
+            });
+            if r.is_ok() {
+                for &(k, is_add) in &ops {
+                    if is_add {
+                        staged.insert(k);
+                    } else {
+                        staged.remove(&k);
+                    }
+                }
+                oracle = staged;
+            }
+        }
+        let snap = stm.run(|t| tree.to_sorted_vec(t)).unwrap();
+        prop_assert_eq!(snap, oracle.iter().copied().collect::<Vec<_>>());
+        let inv = stm.run(|t| tree.check_invariants(t)).unwrap();
+        prop_assert!(inv.is_ok(), "rb invariant: {:?}", inv);
+    }
+
+    /// The STM list set likewise.
+    #[test]
+    fn stm_listset_matches_committed_oracle(
+        txns in proptest::collection::vec(
+            (proptest::collection::vec((0..16i32, proptest::bool::ANY), 1..3),
+             proptest::bool::weighted(0.3)),
+            0..25
+        )
+    ) {
+        let stm = Stm::default();
+        let list = StmListSet::new();
+        let mut oracle = BTreeSet::new();
+        for (ops, doomed) in txns {
+            let r = stm.run(|t| {
+                for &(k, is_add) in &ops {
+                    if is_add {
+                        list.add(t, k)?;
+                    } else {
+                        list.remove(t, &k)?;
+                    }
+                }
+                if doomed {
+                    return Err(Abort::explicit());
+                }
+                Ok(())
+            });
+            if r.is_ok() {
+                for &(k, is_add) in &ops {
+                    if is_add {
+                        oracle.insert(k);
+                    } else {
+                        oracle.remove(&k);
+                    }
+                }
+            }
+        }
+        let snap = stm.run(|t| list.to_sorted_vec(t)).unwrap();
+        prop_assert_eq!(snap, oracle.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Multi-variable invariant: a transaction that moves value between
+    /// vars preserves the total, whatever the interleaving of commits
+    /// and aborts (sequential script; concurrency is covered by the
+    /// opacity stress test in the stm module).
+    #[test]
+    fn transfers_preserve_totals(
+        script in proptest::collection::vec((0..4usize, 0..4usize, 1..20i64, proptest::bool::ANY), 0..50)
+    ) {
+        let stm = Stm::new(TxnConfig::default());
+        let vars: Vec<StmVar<i64>> = (0..4).map(|_| StmVar::new(250)).collect();
+        for (from, to, amt, doomed) in script {
+            let (from, to) = (from % 4, to % 4);
+            let _ = stm.run(|t| {
+                let a = vars[from].read(t)?;
+                let b = vars[to].read(t)?;
+                vars[from].write(t, a - amt);
+                if from != to {
+                    vars[to].write(t, b + amt);
+                } else {
+                    vars[to].write(t, a); // self-transfer: no-op
+                }
+                if doomed {
+                    return Err(Abort::explicit());
+                }
+                Ok(())
+            });
+            let total: i64 = vars.iter().map(|v| v.load()).sum();
+            prop_assert_eq!(total, 1000, "total changed");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Concurrent bank transfers with online auditing — multi-object
+//! transactions over boosted collections.
+//!
+//! Run with: `cargo run --example bank_audit`
+//!
+//! Accounts live in a [`BoostedHashMap`]; a [`BoostedPQueue`] tracks
+//! low-balance accounts for a "collections department"; an auditor
+//! repeatedly sums a random subset of accounts inside a transaction.
+//! What the example demonstrates:
+//!
+//! * **multi-key atomicity** — a transfer debits one account, credits
+//!   another, and possibly enqueues an alert; the auditor can never
+//!   observe a half-applied transfer, because the transfer transaction
+//!   holds both accounts' abstract locks until commit;
+//! * **transaction-level parallelism** — transfers over disjoint
+//!   account pairs run concurrently (per-key locks), unlike either a
+//!   global lock or a read/write STM (where hash-map internals would
+//!   produce false conflicts);
+//! * **cross-object rollback** — injected aborts undo the map updates
+//!   *and* mark the alert dead in the priority queue.
+
+use rand::prelude::*;
+use std::sync::Arc;
+use transactional_boosting::prelude::*;
+
+const ACCOUNTS: u64 = 64;
+const OPENING_BALANCE: i64 = 1_000;
+const TRANSFERS_PER_THREAD: usize = 3_000;
+const THREADS: u64 = 6;
+const LOW_WATER: i64 = 100;
+
+fn main() {
+    let tm = Arc::new(TxnManager::default());
+    let bank: Arc<BoostedHashMap<u64, i64>> = Arc::new(BoostedHashMap::new());
+    let alerts: Arc<BoostedPQueue<i64>> = Arc::new(BoostedPQueue::new());
+
+    tm.run(|txn| {
+        for acct in 0..ACCOUNTS {
+            bank.put(txn, acct, OPENING_BALANCE)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let total = (ACCOUNTS as i64) * OPENING_BALANCE;
+
+    std::thread::scope(|s| {
+        // Transfer workers.
+        for th in 0..THREADS {
+            let tm = Arc::clone(&tm);
+            let bank = Arc::clone(&bank);
+            let alerts = Arc::clone(&alerts);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(th);
+                for _ in 0..TRANSFERS_PER_THREAD {
+                    let from = rng.random_range(0..ACCOUNTS);
+                    let mut to = rng.random_range(0..ACCOUNTS);
+                    if to == from {
+                        to = (to + 1) % ACCOUNTS;
+                    }
+                    let amount = rng.random_range(1..50i64);
+                    let doomed = rng.random_bool(0.02);
+                    let _ = tm.run(|txn| {
+                        let a = bank.get(txn, &from)?.expect("missing account");
+                        if a < amount {
+                            return Ok(()); // insufficient funds: no-op
+                        }
+                        let b = bank.get(txn, &to)?.expect("missing account");
+                        bank.put(txn, from, a - amount)?;
+                        bank.put(txn, to, b + amount)?;
+                        if a - amount < LOW_WATER {
+                            alerts.add(txn, from as i64)?;
+                        }
+                        if doomed {
+                            // Infrastructure hiccup: everything above
+                            // must unwind, including the alert.
+                            return Err(Abort::explicit());
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+        // Auditor: full-sum conservation check, concurrent with the
+        // transfers.
+        let tm_a = Arc::clone(&tm);
+        let bank_a = Arc::clone(&bank);
+        s.spawn(move || {
+            for round in 0..50 {
+                let sum = tm_a
+                    .run(|txn| {
+                        let mut sum = 0i64;
+                        for acct in 0..ACCOUNTS {
+                            sum += bank_a.get(txn, &acct)?.expect("missing account");
+                        }
+                        Ok(sum)
+                    })
+                    .unwrap();
+                assert_eq!(sum, total, "audit round {round}: money not conserved");
+            }
+        });
+    });
+
+    // Final audit + alert sanity.
+    let final_sum = tm
+        .run(|txn| {
+            let mut sum = 0i64;
+            for acct in 0..ACCOUNTS {
+                sum += bank.get(txn, &acct)?.expect("missing account");
+            }
+            Ok(sum)
+        })
+        .unwrap();
+    assert_eq!(final_sum, total);
+
+    let mut alert_count = 0;
+    while tm.run(|txn| alerts.remove_min(txn)).unwrap().is_some() {
+        alert_count += 1;
+    }
+
+    let snap = tm.stats().snapshot();
+    println!(
+        "bank_audit done: {} accounts, total balance {final_sum} (conserved ✓), {alert_count} low-balance alerts",
+        ACCOUNTS
+    );
+    println!(
+        "transactions: {} committed, {} aborted ({} injected, {} lock timeouts)",
+        snap.committed, snap.aborted, snap.explicit_aborts, snap.lock_timeouts
+    );
+}

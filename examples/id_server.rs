@@ -1,0 +1,109 @@
+//! A transactional session server — Section 3.4's unique-ID generator
+//! working together with a boosted hash map.
+//!
+//! Run with: `cargo run --example id_server`
+//!
+//! Worker threads open and close "sessions": opening assigns a unique
+//! session ID (boosted fetch-and-add counter — **no abstract lock at
+//! all**, because distinct `assignID` results commute) and registers
+//! the session in a boosted hash map (per-key abstract locks). A slice
+//! of open attempts abort mid-transaction after the ID was already
+//! assigned; the generator's post-abort disposable `releaseID`
+//! recycles those IDs, and the map's undo log removes the half-made
+//! registration — so the server's invariants hold under any mix of
+//! commits and aborts.
+
+use rand::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+use transactional_boosting::collections::ReleasePolicy;
+use transactional_boosting::prelude::*;
+
+const THREADS: u64 = 8;
+const OPS_PER_THREAD: u64 = 2_000;
+
+fn main() {
+    let tm = Arc::new(TxnManager::default());
+    let ids = UniqueIdGen::new(ReleasePolicy::Recycle);
+    let sessions: Arc<BoostedHashMap<u64, String>> = Arc::new(BoostedHashMap::new());
+
+    let all_opened = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for th in 0..THREADS {
+            let tm = Arc::clone(&tm);
+            let ids = ids.clone();
+            let sessions = Arc::clone(&sessions);
+            handles.push(s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(th);
+                let mut opened: Vec<u64> = Vec::new();
+                for i in 0..OPS_PER_THREAD {
+                    let close_something = !opened.is_empty() && rng.random_bool(0.4);
+                    if close_something {
+                        let idx = rng.random_range(0..opened.len());
+                        let id = opened.swap_remove(idx);
+                        tm.run(|txn| {
+                            let gone = sessions.remove(txn, &id)?;
+                            assert!(gone.is_some(), "session {id} vanished");
+                            // Returning the ID to the pool is
+                            // disposable — deferred to commit.
+                            ids.release_id(txn, id);
+                            Ok(())
+                        })
+                        .unwrap();
+                    } else {
+                        let doomed = rng.random_bool(0.1);
+                        let r = tm.run(|txn| {
+                            let id = ids.assign_id(txn)?;
+                            sessions.put(txn, id, format!("worker-{th} op-{i}"))?;
+                            if doomed {
+                                // Crash after the ID was assigned and
+                                // the map updated: the undo log removes
+                                // the registration; the post-abort
+                                // disposable recycles the ID.
+                                return Err(Abort::explicit());
+                            }
+                            Ok(id)
+                        });
+                        match (doomed, r) {
+                            (true, Err(_)) => {}
+                            (false, Ok(id)) => opened.push(id),
+                            (doomed, r) => panic!("unexpected outcome: doomed={doomed}, r={r:?}"),
+                        }
+                    }
+                }
+                opened
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect::<Vec<u64>>()
+    });
+
+    // Invariant 1: every live session ID is unique.
+    let unique: HashSet<&u64> = all_opened.iter().collect();
+    assert_eq!(unique.len(), all_opened.len(), "duplicate session IDs");
+
+    // Invariant 2: the session map contains exactly the live sessions.
+    assert_eq!(sessions.len(), all_opened.len(), "map/session mismatch");
+    tm.run(|txn| {
+        for id in &all_opened {
+            assert!(sessions.contains_key(txn, id)?, "missing session {id}");
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    let snap = tm.stats().snapshot();
+    println!(
+        "id_server done: {} live sessions, {} IDs minted (high-water mark), {} recycled IDs pooled",
+        all_opened.len(),
+        ids.high_water_mark(),
+        ids.pool_len()
+    );
+    println!(
+        "transactions: {} committed, {} aborted ({} explicit/injected)",
+        snap.committed, snap.aborted, snap.explicit_aborts
+    );
+    println!("uniqueness + map consistency verified ✓");
+}

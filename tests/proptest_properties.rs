@@ -1,0 +1,221 @@
+//! Property-based tests (proptest) on the full transactional stack.
+//!
+//! Strategy-generated workloads exercise the invariants the hand-written
+//! tests can only sample:
+//!
+//! * boosted set == `BTreeSet` oracle under arbitrary sequential
+//!   transaction batches (including multi-op transactions);
+//! * abort-at-every-prefix leaves the committed state untouched;
+//! * the boosted priority queue drains in sorted order whatever the
+//!   insertion pattern;
+//! * the blocking queue preserves FIFO under arbitrary committed
+//!   offer/take sequences;
+//! * the Section 5 checkers agree with a brute-force oracle on small
+//!   randomly generated histories.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use transactional_boosting::model::spec::SetOp;
+use transactional_boosting::model::{check_commit_order_serializable, SetSpec, TxnLabel};
+use transactional_boosting::prelude::*;
+
+fn set_op_strategy(key_range: i64) -> impl Strategy<Value = SetOp> {
+    (0..key_range, 0..3u8).prop_map(|(k, which)| match which {
+        0 => SetOp::Add(k),
+        1 => SetOp::Remove(k),
+        _ => SetOp::Contains(k),
+    })
+}
+
+/// A transaction = 1..5 ops + a doomed flag.
+fn txn_strategy(key_range: i64) -> impl Strategy<Value = (Vec<SetOp>, bool)> {
+    (
+        proptest::collection::vec(set_op_strategy(key_range), 1..5),
+        proptest::bool::weighted(0.25),
+    )
+}
+
+fn apply_boosted(set: &BoostedSkipListSet<i64>, t: &Txn, op: SetOp) -> TxResult<bool> {
+    match op {
+        SetOp::Add(k) => set.add(t, k),
+        SetOp::Remove(k) => set.remove(t, &k),
+        SetOp::Contains(k) => set.contains(t, &k),
+    }
+}
+
+fn apply_oracle(oracle: &mut BTreeSet<i64>, op: SetOp) -> bool {
+    match op {
+        SetOp::Add(k) => oracle.insert(k),
+        SetOp::Remove(k) => oracle.remove(&k),
+        SetOp::Contains(k) => oracle.contains(&k),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Committed transactions behave exactly like the oracle; doomed
+    /// transactions (aborted at the end) change nothing at all.
+    #[test]
+    fn boosted_set_matches_oracle_under_transaction_batches(
+        txns in proptest::collection::vec(txn_strategy(12), 1..40)
+    ) {
+        let tm = TxnManager::default();
+        let set = BoostedSkipListSet::new();
+        let mut oracle = BTreeSet::new();
+        for (ops, doomed) in txns {
+            let r = tm.run(|t| {
+                let mut responses = Vec::new();
+                for &op in &ops {
+                    responses.push(apply_boosted(&set, t, op)?);
+                }
+                if doomed {
+                    return Err(Abort::explicit());
+                }
+                Ok(responses)
+            });
+            match (doomed, r) {
+                (true, Err(TxnError::ExplicitlyAborted)) => {
+                    // Oracle untouched.
+                }
+                (false, Ok(responses)) => {
+                    for (op, expected) in ops.iter().zip(responses) {
+                        let oracle_resp = apply_oracle(&mut oracle, *op);
+                        prop_assert_eq!(oracle_resp, expected, "response mismatch on {:?}", op);
+                    }
+                }
+                (d, r) => prop_assert!(false, "unexpected outcome doomed={} r={:?}", d, r.is_ok()),
+            }
+            prop_assert_eq!(
+                set.snapshot(),
+                oracle.iter().copied().collect::<Vec<_>>(),
+                "state diverged after a transaction"
+            );
+        }
+    }
+
+    /// Aborting after any prefix of any transaction restores the state.
+    #[test]
+    fn abort_at_every_prefix_is_a_noop(
+        ops in proptest::collection::vec(set_op_strategy(8), 1..8),
+        seed in proptest::collection::vec(0..8i64, 0..8),
+    ) {
+        let tm = TxnManager::default();
+        let set = BoostedSkipListSet::new();
+        tm.run(|t| {
+            for &k in &seed {
+                set.add(t, k)?;
+            }
+            Ok(())
+        }).unwrap();
+        let baseline = set.snapshot();
+        for prefix in 0..=ops.len() {
+            let r: Result<(), _> = tm.run(|t| {
+                for &op in &ops[..prefix] {
+                    apply_boosted(&set, t, op)?;
+                }
+                Err(Abort::explicit())
+            });
+            prop_assert!(r.is_err());
+            prop_assert_eq!(&set.snapshot(), &baseline, "prefix {} dirtied state", prefix);
+        }
+    }
+
+    /// Whatever goes in comes out sorted (multiset semantics).
+    #[test]
+    fn pqueue_drains_sorted(keys in proptest::collection::vec(0..100i64, 0..64)) {
+        let tm = TxnManager::default();
+        let q = BoostedPQueue::new();
+        tm.run(|t| {
+            for &k in &keys {
+                q.add(t, k)?;
+            }
+            Ok(())
+        }).unwrap();
+        let mut drained = Vec::new();
+        while let Some(k) = tm.run(|t| q.remove_min(t)).unwrap() {
+            drained.push(k);
+        }
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// FIFO order survives arbitrary interleavings of committed offers
+    /// and takes (sequential, so the spec order is unambiguous).
+    #[test]
+    fn blocking_queue_is_fifo(script in proptest::collection::vec(proptest::bool::ANY, 1..80)) {
+        let tm = TxnManager::new(TxnConfig {
+            lock_timeout: std::time::Duration::from_millis(1),
+            max_retries: Some(0),
+            ..TxnConfig::default()
+        });
+        let q: BoostedBlockingQueue<i64> = BoostedBlockingQueue::new(16);
+        let mut model = std::collections::VecDeque::new();
+        let mut next = 0i64;
+        for do_offer in script {
+            if do_offer {
+                let r = tm.run(|t| q.try_offer(t, next));
+                if model.len() < 16 {
+                    prop_assert!(r.is_ok());
+                    model.push_back(next);
+                } else {
+                    prop_assert!(r.is_err(), "offer into a full queue succeeded");
+                }
+                next += 1;
+            } else {
+                let r = tm.run(|t| q.take(t));
+                match model.pop_front() {
+                    Some(expected) => prop_assert_eq!(r.ok(), Some(expected)),
+                    None => prop_assert!(r.is_err(), "take from empty queue succeeded"),
+                }
+            }
+        }
+    }
+
+    /// The commit-order checker accepts exactly the histories whose
+    /// responses match a sequential replay — cross-validated against a
+    /// direct oracle simulation.
+    #[test]
+    fn serializability_checker_agrees_with_oracle(
+        txns in proptest::collection::vec(
+            proptest::collection::vec((0..6i64, 0..3u8, proptest::bool::ANY), 1..4),
+            1..6
+        )
+    ) {
+        // Build a candidate committed history with possibly-wrong
+        // responses (the bool is the *claimed* response).
+        let committed: Vec<(TxnLabel, Vec<(SetOp, bool)>)> = txns
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                (
+                    TxnLabel(i as u64 + 1),
+                    ops.iter()
+                        .map(|&(k, which, resp)| {
+                            let op = match which {
+                                0 => SetOp::Add(k),
+                                1 => SetOp::Remove(k),
+                                _ => SetOp::Contains(k),
+                            };
+                            (op, resp)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        // Oracle: replay flat.
+        let mut oracle = BTreeSet::new();
+        let mut oracle_ok = true;
+        'outer: for (_, calls) in &committed {
+            for (op, resp) in calls {
+                if apply_oracle(&mut oracle, *op) != *resp {
+                    oracle_ok = false;
+                    break 'outer;
+                }
+            }
+        }
+        let checker_ok = check_commit_order_serializable(&SetSpec, &committed).is_ok();
+        prop_assert_eq!(checker_ok, oracle_ok);
+    }
+}

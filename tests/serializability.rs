@@ -1,0 +1,367 @@
+//! Theorems 5.3 and 5.4, property-tested against the real system.
+//!
+//! These tests run genuinely concurrent transactional workloads on the
+//! boosted collections, record the history with
+//! `txboost_model::HistoryRecorder`, and then check the paper's two
+//! main results:
+//!
+//! * **Theorem 5.3** (strict serializability / dynamic atomicity): the
+//!   committed projection of the history replays legally in commit
+//!   order against the sequential specification.
+//! * **Theorem 5.4** (aborted transactions leave no trace): the final
+//!   abstract state of the real object equals the state obtained by
+//!   replaying only the committed transactions.
+
+use rand::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use transactional_boosting::model::spec::{PQueueOp, PQueueResp, QueueOp, SetOp};
+use transactional_boosting::model::{
+    check_commit_order_serializable, HistoryRecorder, PQueueSpec, QueueSpec, SetSpec, TxnLabel,
+};
+use transactional_boosting::prelude::*;
+
+/// Drive `threads × txns` transactions over a boosted set, each doing
+/// 1–4 random operations, randomly aborting some. Record everything.
+fn run_recorded_set_workload(
+    threads: u64,
+    txns_per_thread: u64,
+    key_range: i64,
+    abort_prob: f64,
+) -> (
+    Arc<BoostedSkipListSet<i64>>,
+    transactional_boosting::model::History<SetOp, bool>,
+) {
+    let tm = Arc::new(TxnManager::default());
+    let set = Arc::new(BoostedSkipListSet::new());
+    let recorder = Arc::new(HistoryRecorder::<SetOp, bool>::new());
+    let label_source = Arc::new(AtomicU64::new(1));
+
+    std::thread::scope(|s| {
+        for th in 0..threads {
+            let tm = Arc::clone(&tm);
+            let set = Arc::clone(&set);
+            let recorder = Arc::clone(&recorder);
+            let label_source = Arc::clone(&label_source);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xFEED ^ th);
+                for _ in 0..txns_per_thread {
+                    let label = TxnLabel(label_source.fetch_add(1, Ordering::Relaxed));
+                    let n_ops = rng.random_range(1..=4);
+                    let ops: Vec<SetOp> = (0..n_ops)
+                        .map(|_| {
+                            let k = rng.random_range(0..key_range);
+                            match rng.random_range(0..3) {
+                                0 => SetOp::Add(k),
+                                1 => SetOp::Remove(k),
+                                _ => SetOp::Contains(k),
+                            }
+                        })
+                        .collect();
+                    let doomed = rng.random_bool(abort_prob);
+                    // Manual begin/commit so the recorder can bracket
+                    // the real commit point.
+                    let txn = tm.begin();
+                    recorder.init(label);
+                    let mut calls = Vec::new();
+                    let mut ok = true;
+                    for op in &ops {
+                        let r = match *op {
+                            SetOp::Add(k) => set.add(&txn, k),
+                            SetOp::Remove(k) => set.remove(&txn, &k),
+                            SetOp::Contains(k) => set.contains(&txn, &k),
+                        };
+                        match r {
+                            Ok(resp) => calls.push((*op, resp)),
+                            Err(_) => {
+                                ok = false; // lock timeout: roll back
+                                break;
+                            }
+                        }
+                    }
+                    if ok && !doomed {
+                        // Record the calls and the commit while the
+                        // transaction still holds its abstract locks
+                        // (commit() releases them), so no conflicting
+                        // transaction's events can interleave wrongly.
+                        for (op, resp) in &calls {
+                            recorder.call(label, *op, *resp);
+                        }
+                        recorder.commit(label);
+                        tm.commit(txn);
+                    } else {
+                        recorder.abort(label);
+                        tm.abort(
+                            txn,
+                            if ok {
+                                AbortReason::Explicit
+                            } else {
+                                AbortReason::LockTimeout
+                            },
+                        );
+                        recorder.aborted(label);
+                    }
+                }
+            });
+        }
+    });
+    let history = recorder.history();
+    (set, history)
+}
+
+#[test]
+fn theorem_5_3_committed_set_history_is_commit_order_serializable() {
+    let (_set, history) = run_recorded_set_workload(8, 300, 16, 0.2);
+    history
+        .check_well_formed()
+        .unwrap_or_else(|t| panic!("malformed history: transaction {t}"));
+    let committed = history.committed_calls();
+    assert!(!committed.is_empty());
+    check_commit_order_serializable(&SetSpec, &committed)
+        .unwrap_or_else(|e| panic!("Theorem 5.3 violated: {e}"));
+}
+
+#[test]
+fn theorem_5_4_aborted_transactions_leave_no_trace_on_set() {
+    let (set, history) = run_recorded_set_workload(8, 300, 16, 0.3);
+    let committed = history.committed_calls();
+    let replayed = check_commit_order_serializable(&SetSpec, &committed)
+        .unwrap_or_else(|e| panic!("serializability prerequisite failed: {e}"));
+    let actual: std::collections::BTreeSet<i64> = set.snapshot().into_iter().collect();
+    assert_eq!(
+        actual, replayed,
+        "final state differs from committed-only replay (Theorem 5.4)"
+    );
+    assert!(
+        !history.aborted().is_empty(),
+        "workload produced no aborts — the theorem was not exercised"
+    );
+}
+
+#[test]
+fn theorem_5_3_and_5_4_for_priority_queue() {
+    let tm = Arc::new(TxnManager::default());
+    let q = Arc::new(BoostedPQueue::<i64>::new());
+    let recorder = Arc::new(HistoryRecorder::<PQueueOp, PQueueResp>::new());
+    let label_source = Arc::new(AtomicU64::new(1));
+
+    std::thread::scope(|s| {
+        for th in 0..6u64 {
+            let tm = Arc::clone(&tm);
+            let q = Arc::clone(&q);
+            let recorder = Arc::clone(&recorder);
+            let label_source = Arc::clone(&label_source);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xABBA ^ th);
+                for _ in 0..200 {
+                    let label = TxnLabel(label_source.fetch_add(1, Ordering::Relaxed));
+                    let doomed = rng.random_bool(0.25);
+                    let txn = tm.begin();
+                    recorder.init(label);
+                    let mut calls: Vec<(PQueueOp, PQueueResp)> = Vec::new();
+                    let mut ok = true;
+                    for _ in 0..rng.random_range(1..=3) {
+                        if rng.random_bool(0.6) {
+                            let k = rng.random_range(0..100);
+                            match q.add(&txn, k) {
+                                Ok(()) => calls.push((PQueueOp::Add(k), PQueueResp::Unit)),
+                                Err(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        } else {
+                            match q.remove_min(&txn) {
+                                Ok(got) => calls.push((PQueueOp::RemoveMin, PQueueResp::Key(got))),
+                                Err(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if ok && !doomed {
+                        for (op, resp) in &calls {
+                            recorder.call(label, *op, *resp);
+                        }
+                        recorder.commit(label);
+                        tm.commit(txn);
+                    } else {
+                        recorder.abort(label);
+                        tm.abort(
+                            txn,
+                            if ok {
+                                AbortReason::Explicit
+                            } else {
+                                AbortReason::LockTimeout
+                            },
+                        );
+                        recorder.aborted(label);
+                    }
+                }
+            });
+        }
+    });
+
+    let history = recorder.history();
+    let committed = history.committed_calls();
+    let replayed = check_commit_order_serializable(&PQueueSpec, &committed)
+        .unwrap_or_else(|e| panic!("Theorem 5.3 (PQueue) violated: {e}"));
+
+    // Theorem 5.4: drain the real queue; the multiset must equal the
+    // replayed abstract state.
+    let mut drained = Vec::new();
+    while let Some(k) = tm.run(|t| q.remove_min(t)).unwrap() {
+        drained.push(k);
+    }
+    assert_eq!(drained, replayed, "PQueue final state diverged from replay");
+}
+
+#[test]
+fn recorded_commit_order_matches_lock_serialization_on_one_key() {
+    // All transactions fight over a single key, so they are totally
+    // ordered by its abstract lock; the recorded responses must form a
+    // strictly alternating add/remove success sequence.
+    let tm = Arc::new(TxnManager::default());
+    let set = Arc::new(BoostedSkipListSet::new());
+    let recorder = Arc::new(HistoryRecorder::<SetOp, bool>::new());
+    let labels = Arc::new(AtomicU64::new(1));
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let (tm, set, recorder, labels) = (
+                Arc::clone(&tm),
+                Arc::clone(&set),
+                Arc::clone(&recorder),
+                Arc::clone(&labels),
+            );
+            s.spawn(move || {
+                for _ in 0..200 {
+                    let label = TxnLabel(labels.fetch_add(1, Ordering::Relaxed));
+                    let txn = tm.begin();
+                    recorder.init(label);
+                    // toggle: add if absent else remove
+                    let present = match set.contains(&txn, &0) {
+                        Ok(p) => p,
+                        Err(_) => {
+                            tm.abort(txn, AbortReason::LockTimeout);
+                            recorder.abort(label);
+                            recorder.aborted(label);
+                            continue;
+                        }
+                    };
+                    let r = if present {
+                        set.remove(&txn, &0).map(|b| (SetOp::Remove(0), b))
+                    } else {
+                        set.add(&txn, 0).map(|b| (SetOp::Add(0), b))
+                    };
+                    match r {
+                        Ok((op, resp)) => {
+                            recorder.call(label, SetOp::Contains(0), present);
+                            recorder.call(label, op, resp);
+                            recorder.commit(label);
+                            tm.commit(txn);
+                        }
+                        Err(_) => {
+                            tm.abort(txn, AbortReason::LockTimeout);
+                            recorder.abort(label);
+                            recorder.aborted(label);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let committed = recorder.history().committed_calls();
+    check_commit_order_serializable(&SetSpec, &committed)
+        .unwrap_or_else(|e| panic!("single-key serialization violated: {e}"));
+}
+
+#[test]
+fn blocking_queue_history_is_fifo_serializable_in_commit_order() {
+    // One producer, one consumer, transactional hops with injected
+    // aborts; the committed offer/take history must replay legally
+    // against the FIFO QueueSpec in commit order (Theorem 5.3 for the
+    // pipeline object), and the paper's claim that the TSemaphore
+    // gating realizes offer⇔take commutativity shows up as zero
+    // illegal interleavings.
+    use rand::prelude::*;
+    const CAP: usize = 4;
+    const N: i64 = 400;
+    let tm = Arc::new(TxnManager::new(TxnConfig {
+        lock_timeout: std::time::Duration::from_millis(200),
+        ..TxnConfig::default()
+    }));
+    let q: BoostedBlockingQueue<i64> = BoostedBlockingQueue::new(CAP);
+    let recorder = Arc::new(HistoryRecorder::<QueueOp, Option<i64>>::new());
+    let labels = Arc::new(AtomicU64::new(1));
+
+    std::thread::scope(|s| {
+        {
+            let (tm, q, recorder, labels) = (
+                Arc::clone(&tm),
+                q.clone(),
+                Arc::clone(&recorder),
+                Arc::clone(&labels),
+            );
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(31);
+                for i in 0..N {
+                    loop {
+                        let label = TxnLabel(labels.fetch_add(1, Ordering::Relaxed));
+                        let doomed = rng.random_bool(0.1);
+                        let txn = tm.begin();
+                        match q.offer(&txn, i) {
+                            Ok(()) if !doomed => {
+                                recorder.call(label, QueueOp::Offer(i), None);
+                                recorder.commit(label);
+                                tm.commit(txn);
+                                break;
+                            }
+                            Ok(()) => {
+                                tm.abort(txn, AbortReason::Explicit);
+                            }
+                            Err(a) => {
+                                tm.abort(txn, a.reason());
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        let (tm, q, recorder, labels) = (
+            Arc::clone(&tm),
+            q.clone(),
+            Arc::clone(&recorder),
+            Arc::clone(&labels),
+        );
+        s.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(32);
+            let mut got = 0;
+            while got < N {
+                let label = TxnLabel(labels.fetch_add(1, Ordering::Relaxed));
+                let doomed = rng.random_bool(0.1);
+                let txn = tm.begin();
+                match q.take(&txn) {
+                    Ok(v) if !doomed => {
+                        recorder.call(label, QueueOp::Take, Some(v));
+                        recorder.commit(label);
+                        tm.commit(txn);
+                        got += 1;
+                    }
+                    Ok(_) => {
+                        tm.abort(txn, AbortReason::Explicit);
+                    }
+                    Err(a) => {
+                        tm.abort(txn, a.reason());
+                    }
+                }
+            }
+        });
+    });
+
+    let committed = recorder.history().committed_calls();
+    let spec = QueueSpec { capacity: CAP };
+    let final_state = check_commit_order_serializable(&spec, &committed)
+        .unwrap_or_else(|e| panic!("queue history not serializable: {e}"));
+    assert!(final_state.is_empty(), "queue should have drained");
+}
