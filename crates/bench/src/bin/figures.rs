@@ -7,9 +7,11 @@
 //!         [--key-range 512] [--csv-dir bench_results]
 //! ```
 //!
-//! Each row reports committed-transactions/second and aborts-per-commit
-//! for one (implementation, thread-count) cell of the corresponding
-//! figure. Shapes to expect (Section 4 of the paper): boosting beats
+//! Each row reports committed-transactions/second, aborts-per-commit,
+//! p50/p99 *contended* abstract-lock wait (µs), and the abort attribution
+//! (`object=count` for boosted lock timeouts, `0xaddr=count` for STM
+//! conflicts) for one (implementation, thread-count) cell of the
+//! corresponding figure. Shapes to expect (Section 4 of the paper): boosting beats
 //! the read/write STM tree by a growing factor (Fig. 9); per-key locks
 //! scale while the single lock stays flat (Fig. 10); the
 //! readers-writer heap beats the mutex heap on the 50/50 mix (Fig. 11).
@@ -178,16 +180,22 @@ fn result_cells(imp: &str, threads: usize, r: RunResult) -> Vec<String> {
         r.committed.to_string(),
         r.aborted.to_string(),
         format!("{:.3}", r.abort_ratio),
+        format!("{:.1}", r.lock_wait_p50_ns as f64 / 1_000.0),
+        format!("{:.1}", r.lock_wait_p99_ns as f64 / 1_000.0),
+        r.abort_attribution,
     ]
 }
 
-const HDR: [&str; 6] = [
+const HDR: [&str; 9] = [
     "impl",
     "threads",
     "txn/s",
     "committed",
     "aborted",
     "aborts/commit",
+    "wait_p50_us",
+    "wait_p99_us",
+    "abort_attribution",
 ];
 
 fn main() {

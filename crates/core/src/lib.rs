@@ -64,11 +64,17 @@ mod backoff;
 pub mod cookbook;
 mod error;
 pub mod locks;
+pub mod obs;
 mod stats;
+pub mod trace;
 mod txn;
 
 pub use backoff::Backoff;
 pub use error::{Abort, AbortReason, TxnError};
+pub use obs::{
+    ContentionRegistry, ContentionSnapshot, HistogramSnapshot, LatencyHistogram, LockLabel,
+    LockSiteSnapshot, LockSiteStats,
+};
 pub use stats::{TxnStats, TxnStatsSnapshot};
 pub use txn::{Savepoint, Txn, TxnConfig, TxnId, TxnManager, TxnState};
 

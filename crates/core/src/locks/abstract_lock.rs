@@ -1,6 +1,7 @@
 //! The basic owner-tracked, transaction-reentrant, timeout lock.
 
 use super::HeldLock;
+use crate::obs::LockSiteStats;
 use crate::{Abort, TxResult, Txn, TxnId};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
@@ -39,12 +40,25 @@ pub enum AcquireOutcome {
 pub struct AbstractLock {
     owner: Mutex<Option<TxnId>>,
     cv: Condvar,
+    /// Contention-attribution site; `None` (the default) skips every
+    /// recording branch so un-instrumented locks measure nothing.
+    site: Option<Arc<LockSiteStats>>,
 }
 
 impl AbstractLock {
     /// A fresh, unowned lock.
     pub fn new() -> Self {
         AbstractLock::default()
+    }
+
+    /// A fresh lock whose waits and timeouts are charged to `site`.
+    /// Many locks may share one site (e.g. every lock in one stripe of
+    /// a [`super::KeyLockMap`]).
+    pub fn with_site(site: Arc<LockSiteStats>) -> Self {
+        AbstractLock {
+            site: Some(site),
+            ..AbstractLock::default()
+        }
     }
 
     /// Acquire for `txn`, registering with the transaction on success
@@ -66,28 +80,69 @@ impl AbstractLock {
     /// Low-level acquisition without transaction registration. Exposed
     /// for tests and for lock disciplines built on top of this one.
     pub fn try_acquire_raw(&self, id: TxnId, timeout: std::time::Duration) -> AcquireOutcome {
-        let deadline = Instant::now() + timeout;
+        let start = Instant::now();
+        let deadline = start + timeout;
+        let mut contended = false;
         let mut owner = self.owner.lock();
         loop {
             match *owner {
                 None => {
                     *owner = Some(id);
+                    drop(owner);
+                    self.note_acquired(id, start, contended);
                     return AcquireOutcome::Acquired;
                 }
                 Some(o) if o == id => return AcquireOutcome::AlreadyHeld,
                 Some(_) => {
+                    if !contended {
+                        contended = true;
+                        crate::trace_event!(LockWait { txn: id });
+                    }
                     if self.cv.wait_until(&mut owner, deadline).timed_out() {
                         // Re-check: the owner may have released exactly
                         // at the deadline.
                         if owner.is_none() {
                             *owner = Some(id);
+                            drop(owner);
+                            self.note_acquired(id, start, contended);
                             return AcquireOutcome::Acquired;
+                        }
+                        drop(owner);
+                        if let Some(site) = &self.site {
+                            site.record_timeout(start.elapsed());
                         }
                         return AcquireOutcome::TimedOut;
                     }
                 }
             }
         }
+    }
+
+    /// Bookkeeping after a successful (non-reentrant) acquisition; runs
+    /// after the owner mutex is dropped so recording never extends the
+    /// critical section.
+    #[inline]
+    fn note_acquired(&self, id: TxnId, start: Instant, contended: bool) {
+        let _ = id; // only the (feature-gated) trace event consumes it
+        if let Some(site) = &self.site {
+            // Skip the clock read when nothing was waited for: the
+            // uncontended wait is ~0 and the extra `Instant::now()`
+            // would be the dominant instrumentation cost.
+            let wait = if contended {
+                start.elapsed()
+            } else {
+                std::time::Duration::ZERO
+            };
+            site.record_acquired(wait, contended);
+        }
+        crate::trace_event!(LockAcquired {
+            txn: id,
+            wait_ns: if contended {
+                start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+            } else {
+                0
+            },
+        });
     }
 
     /// The transaction currently owning the lock, if any.

@@ -2,6 +2,7 @@
 //! per key.
 
 use super::abstract_lock::AbstractLock;
+use crate::obs::{ContentionRegistry, LockLabel, LockSiteStats};
 use crate::{TxResult, Txn};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -30,6 +31,11 @@ type Shard<K, S> = Mutex<HashMap<K, Arc<AbstractLock>, S>>;
 pub struct KeyLockMap<K, S = RandomState> {
     shards: Box<[Shard<K, S>]>,
     hasher: S,
+    /// One contention-attribution site per shard ("stripe"), present
+    /// only for tables built with a `labeled` constructor. Every lock
+    /// created in a shard shares that shard's site, so waits and
+    /// timeouts are charged per stripe without a per-key allocation.
+    sites: Option<Box<[Arc<LockSiteStats>]>>,
 }
 
 impl<K: Hash + Eq + Clone> Default for KeyLockMap<K> {
@@ -55,19 +61,49 @@ impl<K: Hash + Eq + Clone> KeyLockMap<K> {
         KeyLockMap {
             shards,
             hasher: RandomState::new(),
+            sites: None,
         }
+    }
+
+    /// Like [`KeyLockMap::new`], but every lock wait and timeout is
+    /// charged to `object` (per key stripe) in `registry`.
+    pub fn labeled(object: &'static str, registry: &ContentionRegistry) -> Self {
+        KeyLockMap::with_shards_labeled(DEFAULT_SHARDS, object, registry)
+    }
+
+    /// Like [`KeyLockMap::with_shards`], with per-stripe contention
+    /// attribution; see [`KeyLockMap::labeled`].
+    pub fn with_shards_labeled(
+        shards: usize,
+        object: &'static str,
+        registry: &ContentionRegistry,
+    ) -> Self {
+        let mut map = KeyLockMap::with_shards(shards);
+        let sites = (0..map.shards.len())
+            .map(|i| registry.register(LockLabel::stripe(object, i)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        map.sites = Some(sites);
+        map
     }
 }
 
 impl<K: Hash + Eq + Clone, S: BuildHasher> KeyLockMap<K, S> {
     fn lock_for(&self, key: &K) -> Arc<AbstractLock> {
-        let idx = (self.hasher.hash_one(key) as usize) % self.shards.len();
+        let idx = self.stripe_of(key);
         let mut shard = self.shards[idx].lock();
-        Arc::clone(
-            shard
-                .entry(key.clone())
-                .or_insert_with(|| Arc::new(AbstractLock::new())),
-        )
+        Arc::clone(shard.entry(key.clone()).or_insert_with(|| {
+            Arc::new(match &self.sites {
+                Some(sites) => AbstractLock::with_site(Arc::clone(&sites[idx])),
+                None => AbstractLock::new(),
+            })
+        }))
+    }
+
+    /// The stripe (shard index) that locks for `key` live in — and the
+    /// stripe their contention is attributed to for labeled tables.
+    pub fn stripe_of(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) as usize) % self.shards.len()
     }
 
     /// Acquire the abstract lock for `key` on behalf of `txn`, blocking
@@ -176,6 +212,36 @@ mod tests {
         tm.commit(a);
         tm.commit(b);
         assert_eq!(map.table_len(), 2);
+    }
+
+    #[test]
+    fn labeled_table_charges_waits_and_timeouts_to_the_key_stripe() {
+        let tm = manager(5);
+        let reg = ContentionRegistry::new();
+        let map = KeyLockMap::<i64>::labeled("set", &reg);
+
+        let a = tm.begin();
+        map.lock(&a, &7).unwrap();
+        let b = tm.begin();
+        assert_eq!(map.lock(&b, &7).unwrap_err(), Abort::lock_timeout());
+        tm.commit(a);
+        tm.commit(b);
+
+        let snap = reg.snapshot();
+        let stripe = map.stripe_of(&7);
+        assert_eq!(snap.sites[stripe].acquisitions, 1);
+        assert_eq!(snap.sites[stripe].timeouts, 1);
+        assert_eq!(snap.total_timeouts(), 1);
+        assert_eq!(snap.timeouts_by_object(), vec![("set", 1)]);
+        // The timed-out waiter blocked for the full 5ms window; its
+        // wait is recorded in the stripe's histogram.
+        assert!(snap.sites[stripe].wait.p99() >= 5_000_000 / 2);
+        // No other stripe saw anything.
+        for (i, site) in snap.sites.iter().enumerate() {
+            if i != stripe {
+                assert_eq!(site.acquisitions + site.timeouts, 0);
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! `TxRwLock` — a two-phase transactional readers-writer lock.
 
 use super::HeldLock;
+use crate::obs::{ContentionRegistry, LockLabel, LockSiteStats};
 use crate::{Abort, TxResult, Txn, TxnId};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
@@ -41,6 +42,9 @@ impl RwState {
 pub struct TxRwLock {
     state: Mutex<RwState>,
     cv: Condvar,
+    /// Contention-attribution site; `None` (the default) records
+    /// nothing.
+    site: Option<Arc<LockSiteStats>>,
 }
 
 impl TxRwLock {
@@ -49,21 +53,76 @@ impl TxRwLock {
         TxRwLock::default()
     }
 
+    /// A fresh lock whose waits and timeouts are charged to `site`.
+    pub fn with_site(site: Arc<LockSiteStats>) -> Self {
+        TxRwLock {
+            site: Some(site),
+            ..TxRwLock::default()
+        }
+    }
+
+    /// Like [`TxRwLock::new`], but waits and timeouts are charged to
+    /// `object` in `registry`.
+    pub fn labeled(object: &'static str, registry: &ContentionRegistry) -> Self {
+        TxRwLock::with_site(registry.register(LockLabel::object(object)))
+    }
+
+    /// Bookkeeping after a successful non-reentrant acquisition, in
+    /// either mode; runs after the state mutex is dropped.
+    #[inline]
+    fn note_acquired(&self, id: TxnId, start: Instant, contended: bool) {
+        let _ = id; // only the (feature-gated) trace event consumes it
+        if let Some(site) = &self.site {
+            // As in `AbstractLock`: no clock read on the uncontended
+            // path, where the wait is ~0 by definition.
+            let wait = if contended {
+                start.elapsed()
+            } else {
+                std::time::Duration::ZERO
+            };
+            site.record_acquired(wait, contended);
+        }
+        crate::trace_event!(LockAcquired {
+            txn: id,
+            wait_ns: if contended {
+                start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+            } else {
+                0
+            },
+        });
+    }
+
+    #[inline]
+    fn note_timeout(&self, start: Instant) {
+        if let Some(site) = &self.site {
+            site.record_timeout(start.elapsed());
+        }
+    }
+
     /// Acquire in shared (read) mode for `txn`.
     pub fn read_lock(self: &Arc<Self>, txn: &Txn) -> TxResult<()> {
-        let deadline = Instant::now() + txn.lock_timeout();
+        let start = Instant::now();
+        let deadline = start + txn.lock_timeout();
+        let mut contended = false;
         let mut st = self.state.lock();
         if st.holds_any(txn.id()) {
             // Already a reader, or a writer (write implies read).
             return Ok(());
         }
         while st.writer.is_some() {
+            if !contended {
+                contended = true;
+                crate::trace_event!(LockWait { txn: txn.id() });
+            }
             if self.cv.wait_until(&mut st, deadline).timed_out() && st.writer.is_some() {
+                drop(st);
+                self.note_timeout(start);
                 return Err(Abort::lock_timeout());
             }
         }
         st.readers.push(txn.id());
         drop(st);
+        self.note_acquired(txn.id(), start, contended);
         txn.register_held_lock(Arc::clone(self) as Arc<dyn HeldLock>);
         Ok(())
     }
@@ -71,8 +130,10 @@ impl TxRwLock {
     /// Acquire in exclusive (write) mode for `txn`, upgrading from
     /// shared mode if necessary.
     pub fn write_lock(self: &Arc<Self>, txn: &Txn) -> TxResult<()> {
-        let deadline = Instant::now() + txn.lock_timeout();
+        let start = Instant::now();
+        let deadline = start + txn.lock_timeout();
         let me = txn.id();
+        let mut contended = false;
         let mut st = self.state.lock();
         if st.writer == Some(me) {
             return Ok(());
@@ -84,10 +145,16 @@ impl TxRwLock {
             if !blocked_by_writer && !blocked_by_readers {
                 break;
             }
+            if !contended {
+                contended = true;
+                crate::trace_event!(LockWait { txn: me });
+            }
             if self.cv.wait_until(&mut st, deadline).timed_out() {
                 let still_blocked = (st.writer.is_some() && st.writer != Some(me))
                     || st.readers.iter().any(|&r| r != me);
                 if still_blocked {
+                    drop(st);
+                    self.note_timeout(start);
                     return Err(Abort::lock_timeout());
                 }
                 break;
@@ -96,6 +163,7 @@ impl TxRwLock {
         st.readers.retain(|&r| r != me); // upgrade consumes the read hold
         st.writer = Some(me);
         drop(st);
+        self.note_acquired(me, start, contended);
         if !was_holding {
             txn.register_held_lock(Arc::clone(self) as Arc<dyn HeldLock>);
         }

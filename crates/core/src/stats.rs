@@ -4,7 +4,9 @@
 //! far lower abort rate than read/write-conflict STMs; these counters
 //! are what the benchmark harness reads to reproduce that comparison.
 
+use crate::obs::LatencyHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Shared, lock-free counters maintained by a [`crate::TxnManager`].
 ///
@@ -19,6 +21,9 @@ pub struct TxnStats {
     explicit_aborts: AtomicU64,
     conflict_aborts: AtomicU64,
     would_block_aborts: AtomicU64,
+    attempt_ns: LatencyHistogram,
+    undo_depth_commit: LatencyHistogram,
+    undo_depth_abort: LatencyHistogram,
 }
 
 impl TxnStats {
@@ -44,6 +49,36 @@ impl TxnStats {
             crate::AbortReason::Other => return,
         };
         c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the shape of one finished attempt: its wall-clock
+    /// duration and the undo-log depth it reached, bucketed separately
+    /// for commits and aborts. Called by [`crate::TxnManager`] (and the
+    /// read/write STM baseline) at commit/abort time — never on a path
+    /// a transaction can observe.
+    pub fn record_attempt(&self, duration: Duration, undo_depth: u64, committed: bool) {
+        self.attempt_ns.record_duration(duration);
+        if committed {
+            self.undo_depth_commit.record(undo_depth);
+        } else {
+            self.undo_depth_abort.record(undo_depth);
+        }
+    }
+
+    /// Histogram of attempt wall-clock durations, in nanoseconds
+    /// (commits and aborts alike).
+    pub fn attempt_durations(&self) -> &LatencyHistogram {
+        &self.attempt_ns
+    }
+
+    /// Histogram of undo-log depth at commit.
+    pub fn undo_depth_at_commit(&self) -> &LatencyHistogram {
+        &self.undo_depth_commit
+    }
+
+    /// Histogram of undo-log depth at abort (inverses replayed).
+    pub fn undo_depth_at_abort(&self) -> &LatencyHistogram {
+        &self.undo_depth_abort
     }
 
     /// Take a consistent-enough snapshot of all counters.
@@ -114,6 +149,21 @@ mod tests {
         assert_eq!(snap.explicit_aborts, 1);
         assert_eq!(snap.conflict_aborts, 1);
         assert_eq!(snap.would_block_aborts, 1);
+    }
+
+    #[test]
+    fn attempt_metrics_split_by_outcome() {
+        let s = TxnStats::default();
+        s.record_attempt(Duration::from_micros(10), 3, true);
+        s.record_attempt(Duration::from_micros(20), 5, false);
+        s.record_attempt(Duration::from_micros(30), 0, true);
+        assert_eq!(s.attempt_durations().snapshot().count(), 3);
+        let commit = s.undo_depth_at_commit().snapshot();
+        assert_eq!(commit.count(), 2);
+        assert_eq!(commit.sum, 3);
+        let abort = s.undo_depth_at_abort().snapshot();
+        assert_eq!(abort.count(), 1);
+        assert_eq!(abort.sum, 5);
     }
 
     #[test]

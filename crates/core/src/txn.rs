@@ -10,7 +10,7 @@ use std::marker::PhantomData;
 use std::num::NonZeroU64;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Globally unique transaction identifier.
 ///
@@ -105,6 +105,7 @@ pub struct Txn {
     on_abort: RefCell<Vec<Action>>,
     held_locks: RefCell<Vec<Arc<dyn HeldLock>>>,
     lock_timeout: Duration,
+    started: Instant,
     /// Opt out of Send/Sync: a transaction is thread-confined.
     _not_send: PhantomData<*const ()>,
 }
@@ -130,6 +131,7 @@ impl Txn {
             on_abort: RefCell::new(Vec::new()),
             held_locks: RefCell::new(Vec::new()),
             lock_timeout,
+            started: Instant::now(),
             _not_send: PhantomData,
         }
     }
@@ -150,6 +152,12 @@ impl Txn {
         self.lock_timeout
     }
 
+    /// When this attempt began ([`TxnManager::begin`] time); the
+    /// manager uses it to histogram attempt durations.
+    pub fn started_at(&self) -> Instant {
+        self.started
+    }
+
     /// Log the inverse of a method call that just completed.
     ///
     /// If the transaction aborts, logged inverses run in reverse order
@@ -162,6 +170,10 @@ impl Txn {
     pub fn log_undo(&self, inverse: impl FnOnce() + Send + 'static) {
         self.assert_active("log_undo");
         self.undo_log.borrow_mut().push(Box::new(inverse));
+        crate::trace_event!(Undo {
+            txn: self.id,
+            depth: self.undo_log.borrow().len(),
+        });
     }
 
     /// Defer a *disposable* method call until after commit.
@@ -446,20 +458,38 @@ impl TxnManager {
         self.stats.record_start();
         let raw = NEXT_TXN_ID.fetch_add(1, Ordering::Relaxed);
         let id = TxnId(NonZeroU64::new(raw).expect("transaction id counter overflowed"));
+        crate::trace_event!(Begin { txn: id });
         Txn::new(id, self.config.lock_timeout)
     }
 
     /// Commit a transaction begun with [`TxnManager::begin`].
     pub fn commit(&self, txn: Txn) {
+        // Capture before `do_commit` clears the log.
+        let undo_depth = txn.undo_log_len() as u64;
+        crate::trace_event!(Commit {
+            txn: txn.id,
+            undo_depth: undo_depth as usize,
+        });
         txn.do_commit();
         self.stats.record_commit();
+        self.stats
+            .record_attempt(txn.started.elapsed(), undo_depth, true);
     }
 
     /// Abort a transaction begun with [`TxnManager::begin`]: replay its
     /// undo log, release its locks, run its on-abort disposables.
     pub fn abort(&self, txn: Txn, reason: AbortReason) {
+        // Capture before `do_rollback` drains the log.
+        let undo_depth = txn.undo_log_len() as u64;
+        crate::trace_event!(Abort {
+            txn: txn.id,
+            reason,
+            undo_depth: undo_depth as usize,
+        });
         txn.do_rollback();
         self.stats.record_abort(reason);
+        self.stats
+            .record_attempt(txn.started.elapsed(), undo_depth, false);
     }
 }
 

@@ -532,9 +532,15 @@ mod tests {
             let (s, stop) = (Arc::clone(&s), Arc::clone(&stop));
             handles.push(std::thread::spawn(move || {
                 let mut hits = 0u64;
-                while !stop.load(Ordering::Relaxed) {
+                // Check `stop` after the lookup, not before: the writer
+                // can finish and raise `stop` before this thread is
+                // first scheduled, and every reader must prove progress.
+                loop {
                     if s.contains(&50) {
                         hits += 1;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
                     }
                 }
                 hits

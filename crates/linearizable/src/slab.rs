@@ -22,12 +22,15 @@ enum Slot<T> {
     Occupied(T),
 }
 
+/// One immovable chunk of per-slot-locked storage.
+type Chunk<T> = Box<[Mutex<Slot<T>>]>;
+
 /// A linearizable slab: `insert` returns a stable key, `remove` frees
 /// it for reuse. Individual slots are internally locked; the chunk
 /// directory only takes a write lock when growing.
 #[derive(Debug)]
 pub struct ConcurrentSlab<T> {
-    chunks: RwLock<Vec<Box<[Mutex<Slot<T>>]>>>,
+    chunks: RwLock<Vec<Chunk<T>>>,
     /// Head of the free list, guarded by a mutex (simple and correct;
     /// allocation is not the hot path for boosted objects).
     free_head: Mutex<Option<SlabKey>>,
@@ -278,7 +281,7 @@ mod tests {
             let slab = Arc::clone(&slab);
             handles.push(std::thread::spawn(move || {
                 (0..1_000)
-                    .map(|i| (slab.insert(t * 1000 + i)))
+                    .map(|i| slab.insert(t * 1000 + i))
                     .collect::<Vec<_>>()
             }));
         }

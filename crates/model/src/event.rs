@@ -155,9 +155,7 @@ impl<Op: Clone, Resp: Clone> History<Op, Resp> {
             let next = match (e, *phase) {
                 (Event::Init(_), Phase::Fresh) => Phase::Active,
                 // Recorders may skip the explicit init event.
-                (Event::Call { inverse: false, .. }, Phase::Fresh | Phase::Active) => {
-                    Phase::Active
-                }
+                (Event::Call { inverse: false, .. }, Phase::Fresh | Phase::Active) => Phase::Active,
                 (Event::Commit(_), Phase::Fresh | Phase::Active) => Phase::Committed,
                 (Event::Abort(_), Phase::Fresh | Phase::Active) => Phase::Aborting,
                 (Event::Call { inverse: true, .. }, Phase::Aborting) => Phase::Aborting,

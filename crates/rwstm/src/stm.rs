@@ -2,12 +2,13 @@
 //! reads.
 
 use parking_lot::lock_api::RawRwLock as _;
-use parking_lot::RawRwLock;
+use parking_lot::{Mutex, RawRwLock};
 use std::any::Any;
 use std::cell::UnsafeCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use txboost_core::{Abort, Backoff, TxResult, TxnConfig, TxnError, TxnStats};
 
 struct VarInner<T> {
@@ -82,6 +83,7 @@ impl<T: Clone + Send + Sync + 'static> StmVar<T> {
         }
         let inner = &*self.0;
         if !inner.lock.try_lock_shared() {
+            txn.stm.note_conflict(self.addr());
             return Err(Abort::conflict()); // a writer is publishing
         }
         let version = inner.version.load(Ordering::Acquire);
@@ -89,6 +91,7 @@ impl<T: Clone + Send + Sync + 'static> StmVar<T> {
         let value = unsafe { (*inner.data.get()).clone() };
         unsafe { inner.lock.unlock_shared() };
         if version > txn.rv {
+            txn.stm.note_conflict(self.addr());
             return Err(Abort::conflict()); // newer than our snapshot
         }
         txn.reads.push(Box::new(ReadEntry {
@@ -209,7 +212,6 @@ impl<T: Clone + Send + Sync + 'static> WriteOp for WriteEntry<T> {
 /// A running read/write transaction. Handed to the closure passed to
 /// [`Stm::run`]; use [`StmVar::read`] / [`StmVar::write`] with it.
 pub struct StmTxn<'a> {
-    #[allow(dead_code)]
     stm: &'a Stm,
     rv: u64,
     reads: Vec<Box<dyn ReadCheck>>,
@@ -237,6 +239,11 @@ pub struct Stm {
     clock: AtomicU64,
     stats: Arc<TxnStats>,
     config: TxnConfig,
+    /// Abort attribution: how many conflicts each variable address
+    /// caused (lock-busy reads, stale snapshots, commit-time lock and
+    /// validation failures). Touched only on abort paths, never on the
+    /// conflict-free fast path.
+    conflicts: Mutex<HashMap<usize, u64>>,
 }
 
 impl Default for Stm {
@@ -253,12 +260,38 @@ impl Stm {
             clock: AtomicU64::new(0),
             stats: Arc::new(TxnStats::default()),
             config,
+            conflicts: Mutex::new(HashMap::new()),
         }
     }
 
     /// Shared handle to commit/abort counters.
     pub fn stats(&self) -> Arc<TxnStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// Charge one conflict to the variable at `addr`.
+    fn note_conflict(&self, addr: usize) {
+        *self.conflicts.lock().entry(addr).or_insert(0) += 1;
+    }
+
+    /// Conflicts per variable address, most-conflicted first — the
+    /// read/write analogue of the boosted runtime's per-object timeout
+    /// attribution. Addresses identify [`StmVar`] allocations; they are
+    /// stable within a run, not across runs.
+    pub fn conflict_breakdown(&self) -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = self
+            .conflicts
+            .lock()
+            .iter()
+            .map(|(&a, &n)| (a, n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Total conflicts recorded by [`Stm::conflict_breakdown`].
+    pub fn total_conflicts(&self) -> u64 {
+        self.conflicts.lock().values().sum()
     }
 
     /// Run `body` as a transaction, retrying on conflict with
@@ -272,23 +305,36 @@ impl Stm {
         let mut attempts: u64 = 0;
         loop {
             self.stats.record_start();
+            let attempt_start = Instant::now();
             let mut txn = StmTxn {
                 stm: self,
                 rv: self.clock.load(Ordering::Acquire),
                 reads: Vec::new(),
                 writes: BTreeMap::new(),
             };
-            let outcome = match body(&mut txn) {
-                Ok(value) => self.try_commit(txn).map(|()| value),
-                Err(abort) => Err(abort),
+            // The write-set size plays the role undo-log depth plays in
+            // the boosted runtime: work buffered per attempt.
+            let (outcome, write_depth) = match body(&mut txn) {
+                Ok(value) => {
+                    let depth = txn.write_set_len() as u64;
+                    (self.try_commit(txn).map(|()| value), depth)
+                }
+                Err(abort) => {
+                    let depth = txn.write_set_len() as u64;
+                    (Err(abort), depth)
+                }
             };
             match outcome {
                 Ok(value) => {
                     self.stats.record_commit();
+                    self.stats
+                        .record_attempt(attempt_start.elapsed(), write_depth, true);
                     return Ok(value);
                 }
                 Err(abort) => {
                     self.stats.record_abort(abort.reason());
+                    self.stats
+                        .record_attempt(attempt_start.elapsed(), write_depth, false);
                     // Mirror `TxnManager::run`: explicit aborts are a
                     // decision, not a conflict — never retried.
                     if abort.reason() == txboost_core::AbortReason::Explicit {
@@ -315,11 +361,12 @@ impl Stm {
         // Phase 1: lock the write set in address order (BTreeMap
         // iteration order), aborting rather than waiting.
         let mut locked: Vec<&dyn WriteOp> = Vec::with_capacity(txn.writes.len());
-        for w in txn.writes.values() {
+        for (&addr, w) in txn.writes.iter() {
             if !w.try_lock_exclusive() {
                 for l in &locked {
                     l.unlock_exclusive();
                 }
+                self.note_conflict(addr);
                 return Err(Abort::conflict());
             }
             locked.push(w.as_ref());
@@ -333,6 +380,7 @@ impl Stm {
                     for l in &locked {
                         l.unlock_exclusive();
                     }
+                    self.note_conflict(r.addr());
                     return Err(Abort::conflict());
                 }
             }
@@ -496,6 +544,46 @@ mod tests {
         assert_eq!(observed, 100, "retry did not observe the concurrent commit");
         assert_eq!(v.load(), 101);
         assert!(stm.stats().snapshot().conflict_aborts >= 1);
+    }
+
+    #[test]
+    fn conflicts_are_attributed_to_the_contended_variable() {
+        // Same shape as `conflicting_read_write_forces_retry`: the
+        // conflict is on `hot`, never on `cold`.
+        let stm = Stm::default();
+        let hot = StmVar::new(0);
+        let cold = StmVar::new(0);
+        let mut first_attempt = true;
+        stm.run(|txn| {
+            let _ = cold.read(txn)?;
+            let x = hot.read(txn)?;
+            if first_attempt {
+                first_attempt = false;
+                std::thread::scope(|s| {
+                    s.spawn(|| {
+                        stm.run(|t2| {
+                            hot.write(t2, 100);
+                            Ok(())
+                        })
+                        .unwrap();
+                    });
+                });
+            }
+            hot.write(txn, x + 1);
+            Ok(())
+        })
+        .unwrap();
+        assert!(stm.total_conflicts() >= 1);
+        let breakdown = stm.conflict_breakdown();
+        assert_eq!(breakdown[0].0, hot.addr(), "blame fell on the wrong var");
+        assert!(
+            breakdown.iter().all(|&(a, _)| a != cold.addr()),
+            "uncontended variable was blamed"
+        );
+        // Attempt metrics flowed into the shared stats histograms.
+        let stats = stm.stats();
+        assert!(stats.attempt_durations().snapshot().count() >= 2);
+        assert!(stats.undo_depth_at_commit().snapshot().count() >= 1);
     }
 
     #[test]

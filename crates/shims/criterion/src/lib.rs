@@ -1,0 +1,240 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace benches use — benchmark groups,
+//! `bench_with_input` with [`Bencher::iter`]/[`Bencher::iter_custom`],
+//! [`Throughput::Elements`], and the `criterion_group!`/`criterion_main!`
+//! macros — as a plain timing harness: each benchmark runs a short
+//! warm-up, then `sample_size` samples sized to fit `measurement_time`,
+//! and prints median/min/max per-iteration times (plus element
+//! throughput when configured). No statistics, plotting, or baseline
+//! comparison; good enough to keep `cargo bench` compiling and
+//! producing comparable numbers offline.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id rendered as `name/parameter`.
+    pub fn new<P: fmt::Display>(name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f` over the requested number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = Some(start.elapsed());
+    }
+
+    /// Let the closure time `iters` iterations itself and report the
+    /// total wall-clock duration (criterion's `iter_custom`).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = Some(f(self.iters));
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Annotate throughput so results report elements/sec.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        // Warm-up: single iterations until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_micros(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: None,
+            };
+            f(&mut b, input);
+            if let Some(e) = b.elapsed {
+                per_iter = e.max(Duration::from_nanos(1));
+            }
+        }
+
+        // Size each sample so all samples roughly fit measurement_time.
+        let budget = self.measurement_time.as_nanos() / self.sample_size as u128;
+        let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: None,
+            };
+            f(&mut b, input);
+            samples.push(
+                b.elapsed
+                    .expect("benchmark closure must call iter or iter_custom"),
+            );
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2] / iters as u32;
+        let lo = samples[0] / iters as u32;
+        let hi = samples[samples.len() - 1] / iters as u32;
+        print!(
+            "{}/{}: median {:?}/iter (min {:?}, max {:?}, {} samples x {} iters)",
+            self.name,
+            id,
+            median,
+            lo,
+            hi,
+            samples.len(),
+            iters
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let elems_per_sec = n as f64 / median.as_secs_f64();
+            print!(", {elems_per_sec:.0} elem/s");
+        }
+        println!();
+        self
+    }
+
+    /// Finish the group (printing already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+}
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times_a_benchmark() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u32;
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .throughput(Throughput::Elements(1))
+            .bench_with_input(BenchmarkId::new("noop", 1), &1u64, |b, &x| {
+                calls += 1;
+                b.iter_custom(|iters| {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(x.wrapping_mul(3));
+                    }
+                    start.elapsed().max(Duration::from_nanos(1))
+                });
+            });
+        group.finish();
+        assert!(calls >= 4, "warm-up + 3 samples expected, got {calls}");
+    }
+}

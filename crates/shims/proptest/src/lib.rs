@@ -1,0 +1,362 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of proptest this workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(...)]`), integer
+//! range strategies, tuples, [`collection::vec`], [`option::of`],
+//! [`bool::ANY`]/[`bool::weighted`], [`Strategy::prop_map`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberate for an offline shim:
+//!
+//! * **No shrinking** — a failing case reports the exact generated
+//!   inputs (printed before the panic propagates) but is not minimized.
+//! * **Deterministic seeding** — each test's RNG stream is derived from
+//!   its module path and name, so failures reproduce across runs; set
+//!   `PROPTEST_SHIM_SEED` to explore different streams.
+//! * `prop_assert!`/`prop_assert_eq!` panic (instead of returning
+//!   `Err`), which the surrounding harness treats identically.
+
+#![warn(missing_docs)]
+
+use rand::prelude::*;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for vectors with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec`s of `element` values with `len` drawn uniformly from
+    /// `size` (a half-open range, as all call sites here use).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, len: size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::*;
+
+    /// Strategy yielding `None` about a quarter of the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option`s of `inner` values.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_bool(0.25) {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::*;
+
+    /// Fair coin strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// A fair coin (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::bool;
+        fn sample(&self, rng: &mut StdRng) -> ::core::primitive::bool {
+            rng.random_bool(0.5)
+        }
+    }
+
+    /// Weighted-coin strategy; see [`weighted`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted(f64);
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted(p)
+    }
+
+    impl Strategy for Weighted {
+        type Value = ::core::primitive::bool;
+        fn sample(&self, rng: &mut StdRng) -> ::core::primitive::bool {
+            rng.random_bool(self.0)
+        }
+    }
+}
+
+/// Runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use rand::prelude::*;
+
+    /// Deterministic per-test RNG: seeded from the test's identity (and
+    /// `PROPTEST_SHIM_SEED`, when set, to explore new streams).
+    pub fn rng_for(test_identity: &str) -> StdRng {
+        let mut seed: u64 = std::env::var("PROPTEST_SHIM_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+        for b in test_identity.bytes() {
+            seed = seed.rotate_left(5) ^ (b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+/// Payload used by [`prop_assume!`] to reject a case; the runner
+/// catches it and moves on to the next case instead of failing.
+#[doc(hidden)]
+pub struct TestCaseRejected;
+
+/// Discard the current case unless `cond` holds (no failure recorded).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::TestCaseRejected);
+        }
+    };
+}
+
+/// Assert inside a property; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property; failure reports the inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property; failure reports the inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running `cases` random cases. On failure the generated
+/// inputs are printed (no shrinking) before the panic propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::rng_for(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                let case_desc = ::std::format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}",)*),
+                    $(&$arg),*
+                );
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let ::std::result::Result::Err(panic) = outcome {
+                    if panic.downcast_ref::<$crate::TestCaseRejected>().is_some() {
+                        continue; // prop_assume! rejection, not a failure
+                    }
+                    ::std::eprintln!(
+                        "proptest case {}/{} of `{}` failed with inputs (not shrunk):{}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        case_desc,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_compose() {
+        let mut rng = crate::test_runner::rng_for("strategies_compose");
+        let strat = (0..10i64, crate::bool::ANY).prop_map(|(k, b)| if b { k } else { -k });
+        for _ in 0..200 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!((-9..10).contains(&v));
+        }
+        let vecs = crate::collection::vec(0..5u8, 1..4);
+        for _ in 0..100 {
+            let v = Strategy::sample(&vecs, &mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let opts = crate::option::of(0..3i32);
+        let nones = (0..1000)
+            .filter(|_| Strategy::sample(&opts, &mut rng).is_none())
+            .count();
+        assert!((100..500).contains(&nones), "None rate off: {nones}/1000");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires strategies to arguments.
+        #[test]
+        fn macro_generates_cases(x in 0..100i32, flips in crate::collection::vec(crate::bool::ANY, 1..10)) {
+            prop_assert!((0..100).contains(&x));
+            prop_assert!(!flips.is_empty() && flips.len() < 10);
+        }
+    }
+}

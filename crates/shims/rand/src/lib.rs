@@ -1,0 +1,209 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface).
+//!
+//! Provides only what the workspace uses: [`StdRng`] (seedable,
+//! reproducible), [`ThreadRng`]/[`rng`], and the [`Rng`] helpers
+//! `random_range`/`random_bool`. The generator is SplitMix64 — not
+//! cryptographic, statistically plenty for randomized tests and
+//! benchmark workloads. Streams for a given seed are stable across
+//! runs but differ from the real `rand`'s.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience methods layered over [`RngCore`] (the slice of
+/// `rand::Rng` the workspace calls).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`. Panics on an empty range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 high bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The standard seedable generator (SplitMix64 here).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea & Flood) — passes BigCrush, one add +
+        // three xor-shift-multiplies per draw.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+thread_local! {
+    static THREAD_RNG_STATE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Handle to a per-thread generator; each thread's stream is seeded from
+/// its TLS slot address (unique per live thread).
+#[derive(Debug, Clone)]
+pub struct ThreadRng(());
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        THREAD_RNG_STATE.with(|state| {
+            let mut rng = StdRng {
+                state: {
+                    let s = state.get();
+                    if s == 0 {
+                        (state as *const _ as u64) ^ 0xA076_1D64_78BD_642F
+                    } else {
+                        s
+                    }
+                },
+            };
+            let out = rng.next_u64();
+            state.set(rng.state);
+            out
+        })
+    }
+}
+
+/// The per-thread generator (rand 0.9's `rand::rng()`).
+pub fn rng() -> ThreadRng {
+    ThreadRng(())
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draw one sample from `rng`.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Widening multiply maps 64 random bits uniformly onto
+                // the span (bias < 2^-64 for the spans used here).
+                let off = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128 * span) >> 64;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// The glob-importable prelude, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::{rng, Rng, RngCore, SampleRange, SeedableRng, StdRng, ThreadRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible_and_distinct() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds_and_hits_all_values() {
+        let mut r = StdRng::seed_from_u64(42);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = r.random_range(0..6i64);
+            assert!((0..6).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some bucket never sampled: {seen:?}"
+        );
+        for _ in 0..1000 {
+            let v = r.random_range(-5..=5i32);
+            assert!((-5..=5).contains(&v));
+        }
+        // Degenerate inclusive range.
+        assert_eq!(r.random_range(3..=3u8), 3);
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!(
+            (2_000..3_000).contains(&heads),
+            "p=0.25 produced {heads}/10000"
+        );
+    }
+
+    #[test]
+    fn thread_rng_streams_differ_across_threads() {
+        let here = rng().next_u64();
+        let there = std::thread::spawn(|| rng().next_u64()).join().unwrap();
+        assert_ne!(here, there);
+    }
+}

@@ -55,6 +55,86 @@ fn opposite_order_key_acquisition_deadlock_is_broken_by_timeouts() {
 }
 
 #[test]
+fn deadlock_timeouts_are_attributed_to_the_contended_key_stripes() {
+    // The same engineered two-key deadlock as above, but on a set built
+    // with a contention registry: every timeout-abort must be charged
+    // to the stripe of one of the two keys the transactions crossed on,
+    // and to no other stripe.
+    let tm = Arc::new(TxnManager::new(TxnConfig {
+        lock_timeout: Duration::from_millis(5),
+        ..TxnConfig::default()
+    }));
+    let registry = Arc::new(ContentionRegistry::new());
+    let set = Arc::new(BoostedSkipListSet::with_registry("skiplist", &registry));
+    let barrier = Arc::new(Barrier::new(2));
+
+    std::thread::scope(|s| {
+        for (first, second) in [(1i64, 2i64), (2, 1)] {
+            let tm = Arc::clone(&tm);
+            let set = Arc::clone(&set);
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let mut synced = false;
+                tm.run(|t| {
+                    set.add(t, first)?;
+                    if !synced {
+                        barrier.wait();
+                        synced = true;
+                    }
+                    set.add(t, second)?;
+                    Ok(())
+                })
+                .unwrap();
+            });
+        }
+    });
+
+    assert_eq!(set.snapshot(), vec![1, 2]);
+    let snap = tm.stats().snapshot();
+    assert_eq!(snap.committed, 2);
+    assert!(snap.lock_timeouts >= 1, "the deadlock never happened");
+
+    let contention = registry.snapshot();
+    // Every timeout the manager counted is accounted for in the
+    // registry — nothing is lost or double-charged.
+    assert_eq!(contention.total_timeouts(), snap.lock_timeouts);
+    assert_eq!(
+        contention
+            .timeouts_by_object()
+            .into_iter()
+            .map(|(object, n)| {
+                assert_eq!(object, "skiplist");
+                n
+            })
+            .sum::<u64>(),
+        snap.lock_timeouts
+    );
+    // ... and is charged to the stripe of one of the crossed keys.
+    let crossed: Vec<usize> = [1i64, 2]
+        .iter()
+        .map(|k| set.key_stripe(k).expect("per-key set has stripes"))
+        .collect();
+    for (i, site) in contention.sites.iter().enumerate() {
+        if crossed.contains(&i) {
+            // A victim waited out its full timeout window on this key.
+            if site.timeouts > 0 {
+                assert!(
+                    site.wait.p99() >= 2_500_000,
+                    "timeout charged to stripe {i} without its wait: {:?}",
+                    site.wait.p99()
+                );
+            }
+        } else {
+            assert_eq!(
+                site.timeouts, 0,
+                "timeout charged to unrelated stripe {i} ({})",
+                site.label
+            );
+        }
+    }
+}
+
+#[test]
 fn deadlock_storm_remains_serializable() {
     // Many threads acquire random key pairs in random order — constant
     // deadlock pressure. Everything must still commit eventually and
@@ -76,7 +156,7 @@ fn deadlock_storm_remains_serializable() {
             s.spawn(move || {
                 use rand::prelude::*;
                 let mut rng = StdRng::seed_from_u64(th);
-                for _ in 0..150 {
+                for _ in 0..40 {
                     let a = rng.random_range(0..6i64);
                     let mut b = rng.random_range(0..6i64);
                     if a == b {
@@ -90,6 +170,11 @@ fn deadlock_storm_remains_serializable() {
                         let r = (|| -> Result<Vec<(SetOp, bool)>, Abort> {
                             let mut calls = Vec::new();
                             calls.push((SetOp::Add(a), set.add(&txn, a)?));
+                            // Hold the first key lock long enough that
+                            // opposite-order acquirers actually cross;
+                            // without this the transactions are so short
+                            // the storm can finish deadlock-free.
+                            std::thread::sleep(Duration::from_micros(100));
                             calls.push((SetOp::Remove(b), set.remove(&txn, &b)?));
                             Ok(calls)
                         })();
@@ -113,7 +198,7 @@ fn deadlock_storm_remains_serializable() {
     });
 
     let snap = tm.stats().snapshot();
-    assert_eq!(snap.committed, 8 * 150);
+    assert_eq!(snap.committed, 8 * 40);
     assert!(
         snap.lock_timeouts > 0,
         "storm produced no deadlocks/timeouts — not a meaningful test"

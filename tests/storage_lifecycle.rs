@@ -66,7 +66,11 @@ fn refcounted_slab_objects_are_freed_exactly_when_unreferenced() {
     .unwrap();
     assert_eq!(obj.rc.effective_count(), 0);
     assert_eq!(obj.rc.reclaim_count(), 1, "reclaimer did not fire");
-    assert_eq!(arena.get(key), Some(String::new()), "reclaimer did not run");
+    assert_eq!(
+        arena.get(obj.key),
+        Some(String::new()),
+        "reclaimer did not run"
+    );
 }
 
 #[test]
