@@ -27,7 +27,18 @@ impl Backoff {
 
     /// Sleep for a random duration below the current ceiling, then
     /// double the ceiling (saturating at the maximum).
+    ///
+    /// Under a deterministic scheduler the sleep collapses to a single
+    /// scheduling yield: wall-clock delays and PRNG jitter would not
+    /// influence which interleavings the harness explores, they would
+    /// only stall the serialized run.
     pub fn backoff(&mut self) {
+        #[cfg(feature = "deterministic")]
+        if crate::det::active() {
+            crate::det::yield_point(crate::det::Point::Backoff);
+            self.ceiling = (self.ceiling * 2).min(self.max);
+            return;
+        }
         let nanos = self.ceiling.as_nanos() as u64;
         let jittered = rand::rng().random_range(0..nanos.max(1));
         let sleep = Duration::from_nanos(jittered);

@@ -1,0 +1,203 @@
+//! Deterministic-scheduling hooks (the `deterministic` cargo feature).
+//!
+//! Shuttle-style schedule exploration needs every interleaving-relevant
+//! decision in the runtime to flow through a single choice point. This
+//! module is that funnel: the lock, undo-log, commit/abort and backoff
+//! paths call [`yield_point`] / [`block_tick`], and a test harness (the
+//! `txboost-sched` crate) installs a [`DetScheduler`] per logical
+//! thread that serializes execution and picks who runs next.
+//!
+//! Everything here is **runtime-gated**: with no scheduler installed on
+//! the current thread, every function is a cheap no-op and the runtime
+//! behaves exactly as it does without the feature. Compiling the
+//! feature in therefore never changes behaviour on its own — only
+//! installing a scheduler does. Timeouts under a scheduler use
+//! **virtual time**: a tick clock advanced by blocked threads (see
+//! [`block_tick`]) replaces `Instant::now()`, so deadlock recovery is
+//! reproducible instead of wall-clock dependent.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Real-time value of one virtual tick. A blocked acquisition advances
+/// the clock one tick per scheduling round, so the default 10 ms
+/// `lock_timeout` becomes 100 rounds of waiting — long enough that an
+/// unlucky schedule does not time out spuriously, short enough that an
+/// engineered deadlock resolves within a few hundred steps.
+pub const TICK: Duration = Duration::from_micros(100);
+
+/// Labels for the instrumented decision points, recorded into the
+/// schedule so a failing run can be read back step by step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Point {
+    /// A thread was handed its first time slice.
+    Start,
+    /// An abstract-lock acquisition attempt (any lock discipline).
+    LockAcquire,
+    /// A blocked acquisition burned one virtual tick while waiting.
+    LockBlocked,
+    /// A two-phase lock is about to be released at commit/abort.
+    LockRelease,
+    /// A timed-out `KeyLockMap` acquisition is about to unregister the
+    /// per-key entry it created.
+    LockCleanup,
+    /// An inverse was pushed onto the undo log.
+    UndoPush,
+    /// A transaction is about to commit.
+    Commit,
+    /// A transaction is about to roll back.
+    Abort,
+    /// The retry loop backed off after an abort.
+    Backoff,
+    /// An STM transactional read.
+    StmRead,
+    /// An STM commit is about to lock its write set.
+    StmWrite,
+    /// An STM commit-time validation step.
+    StmValidate,
+    /// A thread's body returned (recorded by the harness itself).
+    Finish,
+    /// A test-inserted yield (via [`yield_point`] from test code).
+    User,
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The scheduler interface the instrumented runtime calls into. One
+/// implementation lives in the `txboost-sched` crate; the trait is
+/// defined here so `txboost-core` needs no dependency on the harness.
+pub trait DetScheduler: Send + Sync {
+    /// Logical thread `tid` reached decision point `point`; the
+    /// scheduler may suspend it here and run another thread.
+    fn yield_point(&self, tid: usize, point: Point);
+
+    /// Logical thread `tid` is blocked (e.g. waiting for an abstract
+    /// lock). Must advance the virtual clock by one tick and yield, so
+    /// that an all-threads-blocked deadlock makes progress toward the
+    /// lock-timeout deadline instead of hanging.
+    fn block_tick(&self, tid: usize);
+
+    /// Current virtual time, in ticks.
+    fn virtual_now(&self) -> u64;
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<dyn DetScheduler>, usize)>> =
+        const { RefCell::new(None) };
+}
+
+/// Install `sched` as this thread's scheduler, with logical thread id
+/// `tid`. Until [`uninstall`] the thread's instrumented runtime calls
+/// route through the scheduler. Harness-internal; tests use the
+/// `txboost-sched` entry points instead of calling this directly.
+pub fn install(sched: Arc<dyn DetScheduler>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+/// Remove this thread's scheduler; instrumented paths revert to their
+/// wall-clock behaviour.
+pub fn uninstall() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Whether a deterministic scheduler is installed on this thread.
+pub fn active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn with_sched<R>(f: impl FnOnce(&Arc<dyn DetScheduler>, usize) -> R) -> Option<R> {
+    // Clone the handle out of the thread-local before calling into the
+    // scheduler: yields block for a long time and must not hold the
+    // RefCell borrow.
+    let entry = CURRENT.with(|c| c.borrow().clone());
+    entry.map(|(sched, tid)| f(&sched, tid))
+}
+
+/// Offer the scheduler a chance to switch threads at `point`. No-op
+/// without an installed scheduler, and while a panic is unwinding (so
+/// rollback-during-unwind never context-switches).
+pub fn yield_point(point: Point) {
+    if std::thread::panicking() {
+        return;
+    }
+    with_sched(|s, tid| s.yield_point(tid, point));
+}
+
+/// Report that this thread is blocked: advance virtual time one tick
+/// and yield. No-op without an installed scheduler.
+pub fn block_tick() {
+    if std::thread::panicking() {
+        return;
+    }
+    with_sched(|s, tid| s.block_tick(tid));
+}
+
+/// Current virtual time in ticks (0 without an installed scheduler).
+pub fn virtual_now() -> u64 {
+    with_sched(|s, _| s.virtual_now()).unwrap_or(0)
+}
+
+/// Convert a wall-clock timeout to virtual ticks (at least 1).
+pub fn ticks_for(timeout: Duration) -> u64 {
+    ((timeout.as_nanos() / TICK.as_nanos()) as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingSched {
+        yields: AtomicU64,
+        ticks: AtomicU64,
+    }
+
+    impl DetScheduler for CountingSched {
+        fn yield_point(&self, _tid: usize, _point: Point) {
+            self.yields.fetch_add(1, Ordering::SeqCst);
+        }
+        fn block_tick(&self, _tid: usize) {
+            self.ticks.fetch_add(1, Ordering::SeqCst);
+        }
+        fn virtual_now(&self) -> u64 {
+            self.ticks.load(Ordering::SeqCst)
+        }
+    }
+
+    #[test]
+    fn hooks_are_noops_without_scheduler() {
+        assert!(!active());
+        yield_point(Point::User);
+        block_tick();
+        assert_eq!(virtual_now(), 0);
+    }
+
+    #[test]
+    fn installed_scheduler_sees_every_hook() {
+        let sched = Arc::new(CountingSched {
+            yields: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+        });
+        install(sched.clone(), 7);
+        assert!(active());
+        yield_point(Point::LockAcquire);
+        yield_point(Point::Commit);
+        block_tick();
+        assert_eq!(virtual_now(), 1);
+        uninstall();
+        assert!(!active());
+        yield_point(Point::User); // must not reach the scheduler
+        assert_eq!(sched.yields.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn tick_conversion_rounds_up_to_one() {
+        assert_eq!(ticks_for(Duration::from_nanos(1)), 1);
+        assert_eq!(ticks_for(Duration::from_millis(10)), 100);
+    }
+}

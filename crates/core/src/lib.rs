@@ -62,6 +62,8 @@
 
 mod backoff;
 pub mod cookbook;
+#[cfg(feature = "deterministic")]
+pub mod det;
 mod error;
 pub mod locks;
 pub mod obs;

@@ -80,6 +80,10 @@ impl AbstractLock {
     /// Low-level acquisition without transaction registration. Exposed
     /// for tests and for lock disciplines built on top of this one.
     pub fn try_acquire_raw(&self, id: TxnId, timeout: std::time::Duration) -> AcquireOutcome {
+        #[cfg(feature = "deterministic")]
+        if crate::det::active() {
+            return self.try_acquire_raw_det(id, timeout);
+        }
         let start = Instant::now();
         let deadline = start + timeout;
         let mut contended = false;
@@ -113,6 +117,52 @@ impl AbstractLock {
                         }
                         return AcquireOutcome::TimedOut;
                     }
+                }
+            }
+        }
+    }
+
+    /// Acquisition loop under a deterministic scheduler: the condvar
+    /// wait becomes a scheduling round ([`crate::det::block_tick`])
+    /// and the timeout deadline is measured in virtual ticks, so a
+    /// deadlock cycle resolves identically on every replay of a seed.
+    #[cfg(feature = "deterministic")]
+    fn try_acquire_raw_det(&self, id: TxnId, timeout: std::time::Duration) -> AcquireOutcome {
+        use crate::det::{self, Point};
+        let deadline = det::virtual_now() + det::ticks_for(timeout);
+        let mut contended = false;
+        loop {
+            det::yield_point(Point::LockAcquire);
+            let mut owner = self.owner.lock();
+            match *owner {
+                None => {
+                    *owner = Some(id);
+                    drop(owner);
+                    if let Some(site) = &self.site {
+                        site.record_acquired(std::time::Duration::ZERO, contended);
+                    }
+                    crate::trace_event!(LockAcquired {
+                        txn: id,
+                        wait_ns: 0
+                    });
+                    return AcquireOutcome::Acquired;
+                }
+                Some(o) if o == id => return AcquireOutcome::AlreadyHeld,
+                Some(_) => {
+                    drop(owner);
+                    if !contended {
+                        contended = true;
+                        crate::trace_event!(LockWait { txn: id });
+                    }
+                    if det::virtual_now() >= deadline {
+                        if let Some(site) = &self.site {
+                            // Virtual waits have no meaningful wall
+                            // duration; attribute the timeout only.
+                            site.record_timeout(std::time::Duration::ZERO);
+                        }
+                        return AcquireOutcome::TimedOut;
+                    }
+                    det::block_tick();
                 }
             }
         }

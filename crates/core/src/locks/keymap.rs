@@ -25,8 +25,12 @@ type Shard<K, S> = Mutex<HashMap<K, Arc<AbstractLock>, S>>;
 /// for practical purposes".)
 ///
 /// Like the paper's `ConcurrentHashMap`-backed `LockKey`, lock entries
-/// are created on first use and never removed; the table only grows
-/// with the key universe actually touched.
+/// are created on first use; the table grows with the key universe
+/// actually touched. The one exception to "never removed": when an
+/// acquisition *times out* and nobody else owns or waits on the entry
+/// it registered, [`KeyLockMap::lock`] unregisters that entry again,
+/// so a storm of timed-out probes against vanished owners cannot leak
+/// table entries (see `lock` for the exact safety argument).
 #[derive(Debug)]
 pub struct KeyLockMap<K, S = RandomState> {
     shards: Box<[Shard<K, S>]>,
@@ -109,14 +113,54 @@ impl<K: Hash + Eq + Clone, S: BuildHasher> KeyLockMap<K, S> {
     /// Acquire the abstract lock for `key` on behalf of `txn`, blocking
     /// (up to the transaction's lock timeout) while another transaction
     /// holds it. The lock is held until `txn` commits or aborts.
+    ///
+    /// A timed-out acquisition registers nothing with `txn`, and also
+    /// un-registers the per-key table entry it created *if it can prove
+    /// nobody else reaches that entry*: under the shard mutex, the
+    /// entry is removed only when it has no owner and its `Arc` count
+    /// is exactly two (the table's reference plus this call's local
+    /// handle). New handles are only minted by `lock_for` under the
+    /// same shard mutex, and every owner and every blocked waiter holds
+    /// a clone, so the count-of-two check guarantees removal can never
+    /// strand a transaction on a stale lock — the failure mode where
+    /// two `Arc`s exist for one key and mutual exclusion silently
+    /// breaks.
     pub fn lock(&self, txn: &Txn, key: &K) -> TxResult<()> {
-        self.lock_for(key).acquire(txn)
+        let lock = self.lock_for(key);
+        match lock.acquire(txn) {
+            Err(abort) => {
+                self.cleanup_after_timeout(key, &lock);
+                Err(abort)
+            }
+            ok => ok,
+        }
+    }
+
+    /// Remove `key`'s table entry after a timed-out acquisition, iff
+    /// this call's handle and the table's are provably the only two.
+    fn cleanup_after_timeout(&self, key: &K, lock: &Arc<AbstractLock>) {
+        // Let a deterministic schedule interleave the owner's release
+        // between the timeout decision and this cleanup, so the
+        // removal path is actually explored by the harness.
+        #[cfg(feature = "deterministic")]
+        crate::det::yield_point(crate::det::Point::LockCleanup);
+        let idx = self.stripe_of(key);
+        let mut shard = self.shards[idx].lock();
+        if let Some(entry) = shard.get(key) {
+            if Arc::ptr_eq(entry, lock) && lock.owner().is_none() && Arc::strong_count(lock) == 2 {
+                shard.remove(key);
+            }
+        }
     }
 
     /// Whether any transaction currently holds the lock for `key`
-    /// (diagnostics/tests; inherently racy).
+    /// (diagnostics/tests; inherently racy). A pure read: unlike
+    /// [`KeyLockMap::lock`], probing a never-locked key does not create
+    /// a table entry.
     pub fn is_locked(&self, key: &K) -> bool {
-        self.lock_for(key).owner().is_some()
+        let idx = self.stripe_of(key);
+        let shard = self.shards[idx].lock();
+        shard.get(key).is_some_and(|l| l.owner().is_some())
     }
 
     /// Number of distinct keys that have ever been locked
@@ -241,6 +285,71 @@ mod tests {
             if i != stripe {
                 assert_eq!(site.acquisitions + site.timeouts, 0);
             }
+        }
+    }
+
+    #[test]
+    fn is_locked_probe_does_not_create_entries() {
+        let map = KeyLockMap::<i64>::new();
+        assert!(!map.is_locked(&99));
+        assert_eq!(map.table_len(), 0, "diagnostic probe must not insert");
+    }
+
+    #[test]
+    fn timeout_keeps_entry_while_owner_still_holds() {
+        let tm = manager(5);
+        let map = KeyLockMap::<i64>::new();
+        let a = tm.begin();
+        map.lock(&a, &7).unwrap();
+        let b = tm.begin();
+        assert_eq!(map.lock(&b, &7).unwrap_err(), Abort::lock_timeout());
+        // The owner's entry must survive the loser's cleanup pass.
+        assert_eq!(map.table_len(), 1);
+        assert!(map.is_locked(&7));
+        tm.commit(a);
+        map.lock(&b, &7).unwrap();
+        tm.commit(b);
+    }
+
+    #[test]
+    fn cleanup_removes_orphaned_entries_only() {
+        // White-box check of the timeout-cleanup predicate; the race
+        // that produces an orphaned entry for real (owner releases
+        // between the waiter's timeout decision and its cleanup) is
+        // explored by the deterministic-harness regression test.
+        let tm = manager(5);
+        let map = KeyLockMap::<i64>::new();
+
+        // Orphaned entry (no owner, no other handle): removed.
+        {
+            let handle = map.lock_for(&3);
+            assert_eq!(map.table_len(), 1);
+            map.cleanup_after_timeout(&3, &handle);
+            assert_eq!(map.table_len(), 0, "orphaned entry must be removed");
+        }
+
+        // Owned entry: kept, and the owner is unaffected.
+        {
+            let a = tm.begin();
+            map.lock(&a, &3).unwrap();
+            let handle = map.lock_for(&3);
+            map.cleanup_after_timeout(&3, &handle);
+            assert_eq!(map.table_len(), 1, "owned entry must survive cleanup");
+            assert!(map.is_locked(&3));
+            tm.commit(a);
+        }
+
+        // Unowned entry with another outstanding handle (a waiter
+        // still parked in `lock`): kept until the last handle's own
+        // cleanup pass.
+        {
+            let h1 = map.lock_for(&3);
+            let h2 = map.lock_for(&3);
+            map.cleanup_after_timeout(&3, &h1);
+            assert_eq!(map.table_len(), 1, "entry with other handles kept");
+            drop(h2);
+            map.cleanup_after_timeout(&3, &h1);
+            assert_eq!(map.table_len(), 0);
         }
     }
 

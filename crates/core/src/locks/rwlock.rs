@@ -101,6 +101,10 @@ impl TxRwLock {
 
     /// Acquire in shared (read) mode for `txn`.
     pub fn read_lock(self: &Arc<Self>, txn: &Txn) -> TxResult<()> {
+        #[cfg(feature = "deterministic")]
+        if crate::det::active() {
+            return self.read_lock_det(txn);
+        }
         let start = Instant::now();
         let deadline = start + txn.lock_timeout();
         let mut contended = false;
@@ -130,6 +134,10 @@ impl TxRwLock {
     /// Acquire in exclusive (write) mode for `txn`, upgrading from
     /// shared mode if necessary.
     pub fn write_lock(self: &Arc<Self>, txn: &Txn) -> TxResult<()> {
+        #[cfg(feature = "deterministic")]
+        if crate::det::active() {
+            return self.write_lock_det(txn);
+        }
         let start = Instant::now();
         let deadline = start + txn.lock_timeout();
         let me = txn.id();
@@ -168,6 +176,98 @@ impl TxRwLock {
             txn.register_held_lock(Arc::clone(self) as Arc<dyn HeldLock>);
         }
         Ok(())
+    }
+
+    /// Shared acquisition under a deterministic scheduler: condvar
+    /// waits become scheduling rounds and the timeout runs on virtual
+    /// ticks, mirroring the wall-clock loop above exactly.
+    #[cfg(feature = "deterministic")]
+    fn read_lock_det(self: &Arc<Self>, txn: &Txn) -> TxResult<()> {
+        use crate::det::{self, Point};
+        let deadline = det::virtual_now() + det::ticks_for(txn.lock_timeout());
+        let mut contended = false;
+        loop {
+            det::yield_point(Point::LockAcquire);
+            let mut st = self.state.lock();
+            if st.holds_any(txn.id()) {
+                return Ok(());
+            }
+            if st.writer.is_none() {
+                st.readers.push(txn.id());
+                drop(st);
+                if let Some(site) = &self.site {
+                    site.record_acquired(std::time::Duration::ZERO, contended);
+                }
+                crate::trace_event!(LockAcquired {
+                    txn: txn.id(),
+                    wait_ns: 0
+                });
+                txn.register_held_lock(Arc::clone(self) as Arc<dyn HeldLock>);
+                return Ok(());
+            }
+            drop(st);
+            if !contended {
+                contended = true;
+                crate::trace_event!(LockWait { txn: txn.id() });
+            }
+            if det::virtual_now() >= deadline {
+                if let Some(site) = &self.site {
+                    site.record_timeout(std::time::Duration::ZERO);
+                }
+                return Err(Abort::lock_timeout());
+            }
+            det::block_tick();
+        }
+    }
+
+    /// Exclusive acquisition (with upgrade) under a deterministic
+    /// scheduler; replicates the `was_holding` / upgrade semantics of
+    /// the wall-clock loop above.
+    #[cfg(feature = "deterministic")]
+    fn write_lock_det(self: &Arc<Self>, txn: &Txn) -> TxResult<()> {
+        use crate::det::{self, Point};
+        let me = txn.id();
+        let deadline = det::virtual_now() + det::ticks_for(txn.lock_timeout());
+        let mut contended = false;
+        let mut was_holding = None;
+        loop {
+            det::yield_point(Point::LockAcquire);
+            let mut st = self.state.lock();
+            if st.writer == Some(me) {
+                return Ok(());
+            }
+            let was_holding = *was_holding.get_or_insert_with(|| st.holds_any(me));
+            let blocked_by_writer = st.writer.is_some() && st.writer != Some(me);
+            let blocked_by_readers = st.readers.iter().any(|&r| r != me);
+            if !blocked_by_writer && !blocked_by_readers {
+                st.readers.retain(|&r| r != me); // upgrade consumes the read hold
+                st.writer = Some(me);
+                drop(st);
+                if let Some(site) = &self.site {
+                    site.record_acquired(std::time::Duration::ZERO, contended);
+                }
+                crate::trace_event!(LockAcquired {
+                    txn: me,
+                    wait_ns: 0
+                });
+                if !was_holding {
+                    txn.register_held_lock(Arc::clone(self) as Arc<dyn HeldLock>);
+                }
+                return Ok(());
+            }
+            drop(st);
+            if !contended {
+                contended = true;
+                crate::trace_event!(LockWait { txn: me });
+            }
+            if det::virtual_now() >= deadline {
+                if let Some(site) = &self.site {
+                    site.record_timeout(std::time::Duration::ZERO);
+                }
+                return Err(Abort::lock_timeout());
+            }
+            det::block_tick();
+        }
     }
 
     /// Snapshot of (writer, reader-count) for diagnostics/tests.

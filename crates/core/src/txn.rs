@@ -169,6 +169,8 @@ impl Txn {
     /// Panics if the transaction is no longer active.
     pub fn log_undo(&self, inverse: impl FnOnce() + Send + 'static) {
         self.assert_active("log_undo");
+        #[cfg(feature = "deterministic")]
+        crate::det::yield_point(crate::det::Point::UndoPush);
         self.undo_log.borrow_mut().push(Box::new(inverse));
         crate::trace_event!(Undo {
             txn: self.id,
@@ -353,6 +355,8 @@ impl Txn {
         // correctness — two-phase locking permits any release order at
         // end of transaction — but it keeps lock hand-off FIFO-ish).
         for lock in locks.into_iter().rev() {
+            #[cfg(feature = "deterministic")]
+            crate::det::yield_point(crate::det::Point::LockRelease);
             lock.release(self.id);
         }
     }
@@ -464,6 +468,8 @@ impl TxnManager {
 
     /// Commit a transaction begun with [`TxnManager::begin`].
     pub fn commit(&self, txn: Txn) {
+        #[cfg(feature = "deterministic")]
+        crate::det::yield_point(crate::det::Point::Commit);
         // Capture before `do_commit` clears the log.
         let undo_depth = txn.undo_log_len() as u64;
         crate::trace_event!(Commit {
@@ -479,6 +485,8 @@ impl TxnManager {
     /// Abort a transaction begun with [`TxnManager::begin`]: replay its
     /// undo log, release its locks, run its on-abort disposables.
     pub fn abort(&self, txn: Txn, reason: AbortReason) {
+        #[cfg(feature = "deterministic")]
+        crate::det::yield_point(crate::det::Point::Abort);
         // Capture before `do_rollback` drains the log.
         let undo_depth = txn.undo_log_len() as u64;
         crate::trace_event!(Abort {

@@ -42,4 +42,6 @@ pub use check::{calls_commute, is_disposable, is_inverse_of, legal, replay, same
 pub use event::{Event, History, TxnLabel};
 pub use record::HistoryRecorder;
 pub use serial::{check_commit_order_serializable, search_serialization, SerializabilityError};
-pub use spec::{Call, CounterSpec, IdGenSpec, PQueueSpec, QueueSpec, SequentialSpec, SetSpec};
+pub use spec::{
+    Call, CounterSpec, IdGenSpec, PQueueSpec, QueueSpec, SemSpec, SequentialSpec, SetSpec,
+};

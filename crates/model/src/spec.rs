@@ -281,6 +281,47 @@ impl SequentialSpec for IdGenSpec {
 }
 
 // ---------------------------------------------------------------------
+// Counting semaphore (Section 3.3.1)
+// ---------------------------------------------------------------------
+
+/// Operations of the transactional semaphore (Section 3.3.1). Blocking
+/// is modelled by legality, as for [`QueueOp`]: `Acquire` in a
+/// zero-permit state is simply not a legal call (the implementation
+/// blocks instead of returning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemOp {
+    /// `acquire()`
+    Acquire,
+    /// `release()`
+    Release,
+}
+
+/// Counting-semaphore specification: state is the number of available
+/// permits.
+#[derive(Debug, Clone, Copy)]
+pub struct SemSpec {
+    /// Initial permit count.
+    pub permits: u64,
+}
+
+impl SequentialSpec for SemSpec {
+    type State = u64;
+    type Op = SemOp;
+    type Resp = ();
+
+    fn initial(&self) -> u64 {
+        self.permits
+    }
+
+    fn step(&self, state: &u64, op: &SemOp, _resp: &()) -> Option<u64> {
+        match op {
+            SemOp::Acquire => state.checked_sub(1),
+            SemOp::Release => Some(state + 1),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Counter
 // ---------------------------------------------------------------------
 
@@ -397,6 +438,16 @@ mod tests {
         );
         assert_eq!(SetSpec::inverse(&Call::new(SetOp::Add(3), false)), None);
         assert_eq!(SetSpec::inverse(&Call::new(SetOp::Contains(3), true)), None);
+    }
+
+    #[test]
+    fn sem_spec_blocks_at_zero_permits() {
+        let s = SemSpec { permits: 1 };
+        let st = s.step(&s.initial(), &SemOp::Acquire, &()).unwrap();
+        assert_eq!(st, 0);
+        assert!(s.step(&st, &SemOp::Acquire, &()).is_none(), "would block");
+        let st = s.step(&st, &SemOp::Release, &()).unwrap();
+        assert_eq!(st, 1);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Definition 5.5 (disposability) for the paper's two canonical
+//! disposable methods — the semaphore's `release` and the ID
+//! generator's `releaseID` — checked both against the sequential
+//! specifications and against the real implementations' deferred-action
+//! machinery (disposables run exactly once after commit, never after
+//! abort).
+
+use txboost_collections::{ReleasePolicy, TSemaphore, UniqueIdGen};
+use txboost_core::{Abort, TxnConfig, TxnManager};
+use txboost_model::spec::{IdGenOp, SemOp};
+use txboost_model::{is_disposable, Call, IdGenSpec, SemSpec};
+
+// ---------------------------------------------------------------------
+// Definition 5.5 against the specs
+// ---------------------------------------------------------------------
+
+#[test]
+fn semaphore_release_is_disposable() {
+    // Section 3.3.1: release() may be postponed until commit. In spec
+    // terms: whenever s·g·release and s·release are both legal,
+    // s·release·g is legal and ends in the same state — for every
+    // permit count and every continuation tried here.
+    let spec = SemSpec { permits: 0 };
+    let states: Vec<u64> = (0..=3).collect();
+    let gs: Vec<Vec<Call<SemOp, ()>>> = vec![
+        vec![Call::new(SemOp::Acquire, ())],
+        vec![Call::new(SemOp::Release, ())],
+        vec![Call::new(SemOp::Acquire, ()), Call::new(SemOp::Acquire, ())],
+        vec![
+            Call::new(SemOp::Acquire, ()),
+            Call::new(SemOp::Release, ()),
+            Call::new(SemOp::Release, ()),
+        ],
+    ];
+    let release = Call::new(SemOp::Release, ());
+    assert!(is_disposable(&spec, states, &gs, &release));
+}
+
+#[test]
+fn semaphore_acquire_is_not_disposable() {
+    // Postponing an acquire past a continuation that dips to zero is
+    // observable: with one permit, g = [acquire, release, release] is
+    // legal before our acquire but illegal after it (the first step of
+    // g would block). Disposability fails exactly on that state.
+    let spec = SemSpec { permits: 0 };
+    let states: Vec<u64> = (0..=3).collect();
+    let gs: Vec<Vec<Call<SemOp, ()>>> = vec![vec![
+        Call::new(SemOp::Acquire, ()),
+        Call::new(SemOp::Release, ()),
+        Call::new(SemOp::Release, ()),
+    ]];
+    let acquire = Call::new(SemOp::Acquire, ());
+    assert!(!is_disposable(&spec, states, &gs, &acquire));
+}
+
+#[test]
+fn release_id_is_disposable_over_enumerated_states() {
+    // Section 5.2.3 for the generator: releaseID(0) may be postponed
+    // past any continuation that cannot observe ID 0 — and while 0 is
+    // still marked in use, no legal continuation can mention it.
+    // Quantify over every in-use subset of {0,1,2} containing 0 and a
+    // family of assign/release continuations on the other IDs.
+    let spec = IdGenSpec;
+    let states: Vec<std::collections::BTreeSet<u64>> = (0u32..8)
+        .map(|mask| (0..3u64).filter(|i| mask & (1 << i) != 0).collect())
+        .filter(|s: &std::collections::BTreeSet<u64>| s.contains(&0))
+        .collect();
+    let gs: Vec<Vec<Call<IdGenOp, Option<u64>>>> = vec![
+        vec![Call::new(IdGenOp::Assign, Some(5))],
+        vec![Call::new(IdGenOp::Release(1), None)],
+        vec![
+            Call::new(IdGenOp::Assign, Some(5)),
+            Call::new(IdGenOp::Release(5), None),
+            Call::new(IdGenOp::Release(2), None),
+        ],
+    ];
+    let release0 = Call::new(IdGenOp::Release(0), None);
+    assert!(is_disposable(&spec, states, &gs, &release0));
+}
+
+// ---------------------------------------------------------------------
+// The real deferred-action machinery
+// ---------------------------------------------------------------------
+
+fn tm_once() -> TxnManager {
+    TxnManager::new(TxnConfig {
+        max_retries: Some(0),
+        ..TxnConfig::default()
+    })
+}
+
+#[test]
+fn deferred_semaphore_releases_run_exactly_once_after_commit() {
+    let tm = TxnManager::default();
+    let sem = TSemaphore::new(0);
+    let s = sem.clone();
+    tm.run(move |t| {
+        s.release(t);
+        s.release(t);
+        // Disposable: nothing visible before the commit point.
+        assert_eq!(s.available(), 0);
+        Ok(())
+    })
+    .unwrap();
+    // Two deferred releases, each applied exactly once — not zero (the
+    // action was dropped) and not four (commit ran the queue twice).
+    assert_eq!(sem.available(), 2);
+}
+
+#[test]
+fn deferred_semaphore_release_never_runs_after_abort() {
+    let tm = tm_once();
+    let sem = TSemaphore::new(0);
+    let s = sem.clone();
+    let r: Result<(), _> = tm.run(move |t| {
+        s.release(t);
+        Err(Abort::explicit())
+    });
+    assert!(r.is_err());
+    assert_eq!(sem.available(), 0, "aborted release leaked a permit");
+}
+
+#[test]
+fn aborted_acquire_is_undone_but_its_release_stays_deferred() {
+    // acquire (immediate, undoable) + release (deferred, disposable)
+    // in one aborting transaction: the undo log must re-increment the
+    // acquire, and the deferred release must never fire — ending
+    // exactly where we started.
+    let tm = tm_once();
+    let sem = TSemaphore::new(1);
+    let s = sem.clone();
+    let r: Result<(), _> = tm.run(move |t| {
+        s.acquire(t)?;
+        s.release(t);
+        assert_eq!(s.available(), 0);
+        Err(Abort::explicit())
+    });
+    assert!(r.is_err());
+    assert_eq!(sem.available(), 1, "permits not conserved across abort");
+}
+
+#[test]
+fn deferred_release_id_runs_exactly_once_after_commit() {
+    let tm = TxnManager::default();
+    let gen = UniqueIdGen::new(ReleasePolicy::Recycle);
+    let id = tm.run(|t| gen.assign_id(t)).unwrap();
+    tm.run(|t| {
+        gen.release_id(t, id);
+        assert_eq!(gen.pool_len(), 0, "releaseID must wait for commit");
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(gen.pool_len(), 1, "releaseID must run exactly once");
+    // The recycled ID is preferred by the next assignment.
+    assert_eq!(tm.run(|t| gen.assign_id(t)).unwrap(), id);
+}
+
+#[test]
+fn deferred_release_id_never_runs_after_abort() {
+    let tm = tm_once();
+    let gen = UniqueIdGen::new(ReleasePolicy::Recycle);
+    let id = tm.run(|t| gen.assign_id(t)).unwrap();
+    let r: Result<(), _> = tm.run(|t| {
+        gen.release_id(t, id);
+        Err(Abort::explicit())
+    });
+    assert!(r.is_err());
+    assert_eq!(gen.pool_len(), 0, "aborted releaseID must not run");
+}

@@ -74,6 +74,8 @@ impl<T: Clone + Send + Sync + 'static> StmVar<T> {
     /// which preserves opacity (no zombie ever observes an inconsistent
     /// state).
     pub fn read(&self, txn: &mut StmTxn<'_>) -> TxResult<T> {
+        #[cfg(feature = "deterministic")]
+        txboost_core::det::yield_point(txboost_core::det::Point::StmRead);
         if let Some(w) = txn.writes.get(&self.addr()) {
             let entry = w
                 .as_any()
@@ -358,6 +360,12 @@ impl Stm {
         if txn.writes.is_empty() {
             return Ok(());
         }
+        // One interleaving choice before write-locking and one before
+        // validation: enough for a deterministic schedule to slot a
+        // competing committer between a transaction's read phase and
+        // its commit point, which is where TL2 conflicts live.
+        #[cfg(feature = "deterministic")]
+        txboost_core::det::yield_point(txboost_core::det::Point::StmWrite);
         // Phase 1: lock the write set in address order (BTreeMap
         // iteration order), aborting rather than waiting.
         let mut locked: Vec<&dyn WriteOp> = Vec::with_capacity(txn.writes.len());
@@ -372,6 +380,8 @@ impl Stm {
             locked.push(w.as_ref());
         }
         // Phase 2: validate the read set.
+        #[cfg(feature = "deterministic")]
+        txboost_core::det::yield_point(txboost_core::det::Point::StmValidate);
         let wv = self.clock.fetch_add(1, Ordering::AcqRel) + 1;
         if wv != txn.rv + 1 {
             for r in &txn.reads {

@@ -212,13 +212,22 @@ pub mod bool {
 pub mod test_runner {
     use rand::prelude::*;
 
-    /// Deterministic per-test RNG: seeded from the test's identity (and
-    /// `PROPTEST_SHIM_SEED`, when set, to explore new streams).
-    pub fn rng_for(test_identity: &str) -> StdRng {
-        let mut seed: u64 = std::env::var("PROPTEST_SHIM_SEED")
+    /// The base seed every property RNG is derived from: the value of
+    /// `PROPTEST_SHIM_SEED` when set, the fixed default otherwise.
+    /// Printed in failure reports so a counterexample seen in CI logs
+    /// reproduces locally by exporting the same value.
+    pub fn base_seed() -> u64 {
+        std::env::var("PROPTEST_SHIM_SEED")
             .ok()
             .and_then(|s| s.parse().ok())
-            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+            .unwrap_or(0x5EED_CAFE_F00D_D00D)
+    }
+
+    /// Deterministic per-test RNG: seeded from [`base_seed`] mixed with
+    /// the test's identity, so each test has its own stream but every
+    /// stream is reproducible from the one environment variable.
+    pub fn rng_for(test_identity: &str) -> StdRng {
+        let mut seed = base_seed();
         for b in test_identity.bytes() {
             seed = seed.rotate_left(5) ^ (b as u64).wrapping_mul(0x100_0000_01B3);
         }
@@ -302,11 +311,14 @@ macro_rules! __proptest_impl {
                         continue; // prop_assume! rejection, not a failure
                     }
                     ::std::eprintln!(
-                        "proptest case {}/{} of `{}` failed with inputs (not shrunk):{}",
+                        "proptest case {}/{} of `{}` failed with inputs (not shrunk):{}\n\
+                         reproduce with: PROPTEST_SHIM_SEED={} cargo test {}",
                         case + 1,
                         config.cases,
                         stringify!($name),
                         case_desc,
+                        $crate::test_runner::base_seed(),
+                        stringify!($name),
                     );
                     ::std::panic::resume_unwind(panic);
                 }

@@ -1,0 +1,297 @@
+//! Deadlock recovery on virtual time, under the deterministic
+//! scheduler: the engineered two-key deadlock and the deadlock storm
+//! from `tests/deadlock_recovery.rs`, ported onto `txboost-sched`,
+//! plus the regression test for `KeyLockMap` cleanup after a timed-out
+//! acquisition.
+//!
+//! Under the harness, lock timeouts fire on the scheduler's virtual
+//! clock (`txboost_core::det::ticks_for`), so deadlock recovery is
+//! exercised identically on every machine and every seed replays.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use transactional_boosting::model::spec::SetOp;
+use transactional_boosting::model::{
+    check_commit_order_serializable, HistoryRecorder, SetSpec, TxnLabel,
+};
+use transactional_boosting::prelude::*;
+use txboost_core::locks::KeyLockMap;
+use txboost_sched::core_det as det;
+
+/// SplitMix64 finalizer — deterministic workload derivation without
+/// `rand` (see `det_serializability.rs`).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Spin at a named yield point until `flag` is set. The deterministic
+/// analogue of `std::sync::Barrier`, which must never be used under
+/// the harness (a real OS block with no scheduler hook would wedge the
+/// single running thread).
+fn spin_until(flag: &AtomicBool) {
+    while !flag.load(Ordering::SeqCst) {
+        det::yield_point(det::Point::User);
+    }
+}
+
+#[test]
+fn opposite_order_deadlock_recovers_on_every_seed() {
+    // T0 locks key 1 then 2; T1 locks key 2 then 1, with an atomic-flag
+    // crossing so both hold their first key before either requests the
+    // second: a guaranteed 2PL deadlock on the first attempt of every
+    // seed. Virtual-time timeouts must always break it and both
+    // transactions must always commit.
+    struct W {
+        tm: TxnManager,
+        set: BoostedSkipListSet<i64>,
+        holding: [AtomicBool; 2],
+    }
+    txboost_sched::sweep_setup(
+        txboost_sched::seeds_from_env(200),
+        2,
+        || W {
+            tm: TxnManager::default(),
+            set: BoostedSkipListSet::new(),
+            holding: [AtomicBool::new(false), AtomicBool::new(false)],
+        },
+        |w, tid| {
+            let (first, second) = if tid == 0 { (1i64, 2i64) } else { (2, 1) };
+            let mut synced = false;
+            w.tm.run(|t| {
+                w.set.add(t, first)?;
+                if !synced {
+                    w.holding[tid].store(true, Ordering::SeqCst);
+                    spin_until(&w.holding[1 - tid]);
+                    synced = true;
+                }
+                w.set.add(t, second)?;
+                Ok(())
+            })
+            .unwrap();
+        },
+        |w, _report| {
+            assert_eq!(w.set.snapshot(), vec![1, 2]);
+            let snap = w.tm.stats().snapshot();
+            assert_eq!(snap.committed, 2);
+            assert!(
+                snap.lock_timeouts >= 1,
+                "the engineered deadlock never happened"
+            );
+        },
+    );
+}
+
+#[test]
+fn deadlock_storm_remains_serializable_across_seeds() {
+    // The ported storm: every thread repeatedly takes a random key pair
+    // in a random order (derived from `mix`, fixed across seeds),
+    // holding the first key across a few yields so opposite-order
+    // acquirers cross. Only the committed attempt of each logical
+    // transaction is recorded; Theorems 5.3/5.4 must survive the
+    // recovery churn on every seed.
+    const THREADS: usize = 3;
+    const TXNS: u64 = 6;
+    struct W {
+        tm: TxnManager,
+        set: BoostedSkipListSet<i64>,
+        recorder: HistoryRecorder<SetOp, bool>,
+        labels: AtomicU64,
+    }
+    let total_timeouts = AtomicU64::new(0);
+    txboost_sched::sweep_setup(
+        txboost_sched::seeds_from_env(200),
+        THREADS,
+        || W {
+            tm: TxnManager::default(),
+            set: BoostedSkipListSet::new(),
+            recorder: HistoryRecorder::new(),
+            labels: AtomicU64::new(1),
+        },
+        |w, tid| {
+            for i in 0..TXNS {
+                let h = mix((tid as u64) << 40 | i);
+                let a = (h % 5) as i64;
+                let mut b = ((h >> 8) % 5) as i64;
+                if a == b {
+                    b = (b + 1) % 5;
+                }
+                loop {
+                    let label = TxnLabel(w.labels.fetch_add(1, Ordering::Relaxed));
+                    let txn = w.tm.begin();
+                    let r = (|| -> Result<Vec<(SetOp, bool)>, Abort> {
+                        let mut calls = Vec::new();
+                        calls.push((SetOp::Add(a), w.set.add(&txn, a)?));
+                        // Hold the first key across a few scheduling
+                        // points so opposite-order acquirers can cross
+                        // (the det analogue of the original's sleep).
+                        for _ in 0..4 {
+                            det::yield_point(det::Point::User);
+                        }
+                        calls.push((SetOp::Remove(b), w.set.remove(&txn, &b)?));
+                        Ok(calls)
+                    })();
+                    match r {
+                        Ok(calls) => {
+                            for (op, resp) in &calls {
+                                w.recorder.call(label, *op, *resp);
+                            }
+                            w.recorder.commit(label);
+                            w.tm.commit(txn);
+                            break;
+                        }
+                        Err(abort) => {
+                            w.tm.abort(txn, abort.reason());
+                        }
+                    }
+                }
+            }
+        },
+        |w, _report| {
+            let snap = w.tm.stats().snapshot();
+            assert_eq!(snap.committed, THREADS as u64 * TXNS);
+            total_timeouts.fetch_add(snap.lock_timeouts, Ordering::Relaxed);
+            let committed = w.recorder.history().committed_calls();
+            let replayed = check_commit_order_serializable(&SetSpec, &committed)
+                .unwrap_or_else(|e| panic!("deadlock recovery broke serializability: {e}"));
+            let actual: std::collections::BTreeSet<i64> = w.set.snapshot().into_iter().collect();
+            assert_eq!(actual, replayed, "final state diverged from replay");
+        },
+    );
+    assert!(
+        total_timeouts.load(Ordering::Relaxed) > 0,
+        "no seed in the sweep produced a deadlock — the storm is toothless"
+    );
+}
+
+#[test]
+fn timed_out_acquisition_leaves_keymap_coherent_and_reclaimable() {
+    // Regression for the KeyLockMap leak: a transaction that times out
+    // mid-acquisition must unregister the per-key entry it partially
+    // created *if* the owner vanished in the meantime — and must never
+    // remove an entry the owner still holds.
+    //
+    // T0 holds the key for roughly as long as T1's (virtual-time)
+    // timeout window, so across the sweep both orderings occur:
+    //   - T0 still holds at T1's timeout → entry must survive;
+    //   - T0 released during T1's cleanup suspension → entry must be
+    //     removed (the leak fixed by `cleanup_after_timeout`).
+    // Either way a fresh transaction must be able to lock the key.
+    struct W {
+        tm: TxnManager,
+        tm_once: TxnManager,
+        map: KeyLockMap<i64>,
+        held: AtomicBool,
+        waiter_timed_out: AtomicBool,
+    }
+    let removals = AtomicU64::new(0);
+    let timeouts = AtomicU64::new(0);
+    txboost_sched::sweep_setup(
+        txboost_sched::seeds_from_env(400),
+        2,
+        || W {
+            tm: TxnManager::default(),
+            tm_once: TxnManager::new(TxnConfig {
+                max_retries: Some(0),
+                ..TxnConfig::default()
+            }),
+            map: KeyLockMap::new(),
+            held: AtomicBool::new(false),
+            waiter_timed_out: AtomicBool::new(false),
+        },
+        |w, tid| {
+            if tid == 0 {
+                w.tm.run(|t| {
+                    w.map.lock(t, &7)?;
+                    w.held.store(true, Ordering::SeqCst);
+                    // ~190 yields ≈ the waiter's 100 blocked rounds
+                    // (each round = one acquire yield + one tick),
+                    // so release and timeout race closely.
+                    for _ in 0..190 {
+                        det::yield_point(det::Point::User);
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            } else {
+                spin_until(&w.held);
+                if w.tm_once.run(|t| w.map.lock(t, &7)).is_err() {
+                    w.waiter_timed_out.store(true, Ordering::SeqCst);
+                }
+            }
+        },
+        |w, _report| {
+            if w.waiter_timed_out.load(Ordering::SeqCst) {
+                timeouts.fetch_add(1, Ordering::Relaxed);
+                // At most the owner's entry may remain; a removed entry
+                // means the cleanup caught the owner's release inside
+                // its suspension window.
+                let len = w.map.table_len();
+                assert!(len <= 1, "leaked {len} entries for one key");
+                if len == 0 {
+                    removals.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Coherence: whatever happened, the key is lockable again
+            // (this runs outside the harness, on real time).
+            w.tm.run(|t| w.map.lock(t, &7)).unwrap();
+            assert!(w.map.table_len() <= 1);
+        },
+    );
+    assert!(
+        timeouts.load(Ordering::Relaxed) > 0,
+        "no seed produced a waiter timeout — the race was not exercised"
+    );
+    assert!(
+        removals.load(Ordering::Relaxed) > 0,
+        "no seed removed the orphaned entry — the cleanup window was never hit \
+         (tune the holder's yield count against ticks_for(lock_timeout))"
+    );
+}
+
+#[test]
+fn single_key_mutual_exclusion_storm() {
+    // Three threads funnel through one abstract lock; a flag checked
+    // inside the critical section proves mutual exclusion holds on
+    // every interleaving. This is the test that catches a KeyLockMap
+    // cleanup gone wrong: removing a *live* entry would mint a second
+    // lock for the same key and let two owners in at once.
+    struct W {
+        tm: TxnManager,
+        map: KeyLockMap<i64>,
+        in_cs: AtomicBool,
+        entries: AtomicU64,
+    }
+    txboost_sched::sweep_setup(
+        txboost_sched::seeds_from_env(150),
+        3,
+        || W {
+            tm: TxnManager::default(),
+            map: KeyLockMap::new(),
+            in_cs: AtomicBool::new(false),
+            entries: AtomicU64::new(0),
+        },
+        |w, _tid| {
+            for _ in 0..4 {
+                w.tm.run(|t| {
+                    w.map.lock(t, &0)?;
+                    assert!(
+                        !w.in_cs.swap(true, Ordering::SeqCst),
+                        "two transactions inside the same critical section"
+                    );
+                    det::yield_point(det::Point::User);
+                    det::yield_point(det::Point::User);
+                    w.in_cs.store(false, Ordering::SeqCst);
+                    w.entries.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                })
+                .unwrap();
+            }
+        },
+        |w, _report| {
+            assert_eq!(w.entries.load(Ordering::Relaxed), 3 * 4);
+            assert!(w.map.table_len() <= 1);
+        },
+    );
+}
