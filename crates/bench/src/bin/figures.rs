@@ -18,6 +18,7 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
+use txboost_bench::report::{BenchReport, SeriesPoint};
 use txboost_bench::*;
 
 #[derive(Debug)]
@@ -117,6 +118,8 @@ struct Table {
     title: String,
     header: Vec<String>,
     rows: Vec<Vec<String>>,
+    /// Machine-readable twin of `rows`, for `BENCH_<name>.json`.
+    points: Vec<SeriesPoint>,
 }
 
 impl Table {
@@ -125,11 +128,19 @@ impl Table {
             title: title.to_string(),
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            points: Vec::new(),
         }
     }
 
     fn row(&mut self, cells: Vec<String>) {
         self.rows.push(cells);
+    }
+
+    /// Record one experiment result as both a console/CSV row and a
+    /// JSON series point.
+    fn result_row(&mut self, imp: &str, threads: usize, r: RunResult) {
+        self.points.push(SeriesPoint::from_result(imp, threads, &r));
+        self.row(result_cells(imp, threads, r));
     }
 
     fn print(&self) {
@@ -157,7 +168,8 @@ impl Table {
         }
     }
 
-    fn write_csv(&self, dir: &str, name: &str) {
+    /// Write `<name>.csv` and its `BENCH_<name>.json` twin under `dir`.
+    fn write_outputs(&self, dir: &str, name: &str, args: &Args) {
         std::fs::create_dir_all(dir).expect("create csv dir");
         let mut out = String::new();
         out.push_str(&self.header.join(","));
@@ -169,6 +181,20 @@ impl Table {
         let path = format!("{dir}/{name}.csv");
         std::fs::write(&path, out).expect("write csv");
         println!("  -> {path}");
+
+        let mut report = BenchReport::new(name);
+        report
+            .meta("title", &self.title)
+            .meta("duration_ms", args.duration.as_millis().to_string())
+            .meta("key_range", args.key_range.to_string());
+        if let Some(think) = args.think {
+            report.meta("think_us", think.as_micros().to_string());
+        }
+        for p in &self.points {
+            report.push(p.clone());
+        }
+        let json_path = report.write(dir).expect("write bench json");
+        println!("  -> {json_path}");
     }
 }
 
@@ -229,16 +255,12 @@ fn main() {
                         threads: n,
                         ..base.clone()
                     };
-                    t.row(result_cells(
-                        "boosted",
-                        n,
-                        fig9_run(Fig9Impl::Boosted, &cfg),
-                    ));
-                    t.row(result_cells("rwstm", n, fig9_run(Fig9Impl::RwStm, &cfg)));
+                    t.result_row("boosted", n, fig9_run(Fig9Impl::Boosted, &cfg));
+                    t.result_row("rwstm", n, fig9_run(Fig9Impl::RwStm, &cfg));
                 }
                 t.print();
                 if let Some(d) = &args.csv_dir {
-                    t.write_csv(d, "fig9_rbtree");
+                    t.write_outputs(d, "fig9_rbtree", &args);
                 }
             }
             "10" => {
@@ -251,20 +273,12 @@ fn main() {
                         threads: n,
                         ..base.clone()
                     };
-                    t.row(result_cells(
-                        "single-lock",
-                        n,
-                        fig10_run(Fig10Lock::Single, &cfg),
-                    ));
-                    t.row(result_cells(
-                        "lock-per-key",
-                        n,
-                        fig10_run(Fig10Lock::PerKey, &cfg),
-                    ));
+                    t.result_row("single-lock", n, fig10_run(Fig10Lock::Single, &cfg));
+                    t.result_row("lock-per-key", n, fig10_run(Fig10Lock::PerKey, &cfg));
                 }
                 t.print();
                 if let Some(d) = &args.csv_dir {
-                    t.write_csv(d, "fig10_skiplist");
+                    t.write_outputs(d, "fig10_skiplist", &args);
                 }
             }
             "11" => {
@@ -277,16 +291,12 @@ fn main() {
                         threads: n,
                         ..base.clone()
                     };
-                    t.row(result_cells("mutex", n, fig11_run(Fig11Lock::Mutex, &cfg)));
-                    t.row(result_cells(
-                        "rw-lock",
-                        n,
-                        fig11_run(Fig11Lock::RwLock, &cfg),
-                    ));
+                    t.result_row("mutex", n, fig11_run(Fig11Lock::Mutex, &cfg));
+                    t.result_row("rw-lock", n, fig11_run(Fig11Lock::RwLock, &cfg));
                 }
                 t.print();
                 if let Some(d) = &args.csv_dir {
-                    t.write_csv(d, "fig11_heap");
+                    t.write_outputs(d, "fig11_heap", &args);
                 }
             }
             "list" => {
@@ -302,20 +312,12 @@ fn main() {
                         key_range: args.key_range.min(128),
                         ..base.clone()
                     };
-                    t.row(result_cells(
-                        "boosted",
-                        n,
-                        intro_list_run(IntroListImpl::Boosted, &cfg),
-                    ));
-                    t.row(result_cells(
-                        "rwstm",
-                        n,
-                        intro_list_run(IntroListImpl::RwStm, &cfg),
-                    ));
+                    t.result_row("boosted", n, intro_list_run(IntroListImpl::Boosted, &cfg));
+                    t.result_row("rwstm", n, intro_list_run(IntroListImpl::RwStm, &cfg));
                 }
                 t.print();
                 if let Some(d) = &args.csv_dir {
-                    t.write_csv(d, "ablation_list");
+                    t.write_outputs(d, "ablation_list", &args);
                 }
             }
             "idgen" => {
@@ -328,16 +330,12 @@ fn main() {
                         threads: n,
                         ..base.clone()
                     };
-                    t.row(result_cells(
-                        "boosted",
-                        n,
-                        idgen_run(IdGenImpl::Boosted, &cfg),
-                    ));
-                    t.row(result_cells("rwstm", n, idgen_run(IdGenImpl::RwStm, &cfg)));
+                    t.result_row("boosted", n, idgen_run(IdGenImpl::Boosted, &cfg));
+                    t.result_row("rwstm", n, idgen_run(IdGenImpl::RwStm, &cfg));
                 }
                 t.print();
                 if let Some(d) = &args.csv_dir {
-                    t.write_csv(d, "ablation_idgen");
+                    t.write_outputs(d, "ablation_idgen", &args);
                 }
             }
             "pipeline" => {
@@ -350,15 +348,15 @@ fn main() {
                         threads: args.threads.iter().copied().max().unwrap_or(4).max(2),
                         ..base.clone()
                     };
-                    t.row(result_cells(
+                    t.result_row(
                         &format!("capacity-{cap}"),
                         cfg.threads,
                         pipeline_run(cap, &cfg),
-                    ));
+                    );
                 }
                 t.print();
                 if let Some(d) = &args.csv_dir {
-                    t.write_csv(d, "ablation_pipeline");
+                    t.write_outputs(d, "ablation_pipeline", &args);
                 }
             }
             "overhead" => {
@@ -375,10 +373,19 @@ fn main() {
                 };
                 for (name, ops) in overhead_run(&cfg) {
                     t.row(vec![name.to_string(), format!("{ops:.0}")]);
+                    t.points.push(SeriesPoint {
+                        label: name.to_string(),
+                        threads: 1,
+                        throughput: ops,
+                        committed: 0,
+                        aborted: 0,
+                        p50_us: 0.0,
+                        p99_us: 0.0,
+                    });
                 }
                 t.print();
                 if let Some(d) = &args.csv_dir {
-                    t.write_csv(d, "ablation_overhead");
+                    t.write_outputs(d, "ablation_overhead", &args);
                 }
             }
             "sens-think" => {
@@ -393,20 +400,20 @@ fn main() {
                         think: Duration::from_micros(think_us),
                         ..base.clone()
                     };
-                    t.row(result_cells(
+                    t.result_row(
                         &format!("single-lock/think={think_us}us"),
                         4,
                         fig10_run(Fig10Lock::Single, &cfg),
-                    ));
-                    t.row(result_cells(
+                    );
+                    t.result_row(
                         &format!("lock-per-key/think={think_us}us"),
                         4,
                         fig10_run(Fig10Lock::PerKey, &cfg),
-                    ));
+                    );
                 }
                 t.print();
                 if let Some(d) = &args.csv_dir {
-                    t.write_csv(d, "sensitivity_think");
+                    t.write_outputs(d, "sensitivity_think", &args);
                 }
             }
             "sens-keys" => {
@@ -424,15 +431,15 @@ fn main() {
                         key_range: kr,
                         ..base.clone()
                     };
-                    t.row(result_cells(
+                    t.result_row(
                         &format!("lock-per-key/keys={kr}"),
                         4,
                         fig10_run(Fig10Lock::PerKey, &cfg),
-                    ));
+                    );
                 }
                 t.print();
                 if let Some(d) = &args.csv_dir {
-                    t.write_csv(d, "sensitivity_keys");
+                    t.write_outputs(d, "sensitivity_keys", &args);
                 }
             }
             other => eprintln!("unknown figure: {other}"),

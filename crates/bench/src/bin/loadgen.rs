@@ -1,0 +1,326 @@
+//! Closed-loop load generator for `txboost-server`.
+//!
+//! ```text
+//! loadgen [--addr 127.0.0.1:7411] [--threads 4] [--duration-ms 3000]
+//!         [--keys 1024] [--skew 0.0..1.0]
+//!         [--mix transfer:40,read:30,counter:20,pq:5,idgen:5]
+//!         [--out-dir bench_results] [--seed N] [--shutdown]
+//! ```
+//!
+//! Each worker thread owns one connection and loops: pick a script kind
+//! from the weighted mix, pick keys (with probability `--skew` from a
+//! small hot set, otherwise uniform), send the script, wait for the
+//! reply, record the end-to-end latency. At the end it prints a summary
+//! table and writes `BENCH_loadgen.json` (one series point per script
+//! kind plus a `total` row) for CI to assert on. `--shutdown` sends a
+//! wire shutdown frame when done, so a smoke test can drive the full
+//! server lifecycle from this one binary.
+
+use rand::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txboost_bench::report::{BenchReport, SeriesPoint};
+use txboost_client::{Connection, ScriptBuilder};
+use txboost_core::LatencyHistogram;
+use txboost_wire::ScriptOp;
+
+/// The script kinds the mix can mention, in fixed order.
+const KINDS: [&str; 5] = ["transfer", "read", "counter", "pq", "idgen"];
+
+#[derive(Debug)]
+struct Args {
+    addr: String,
+    threads: usize,
+    duration: Duration,
+    keys: i64,
+    skew: f64,
+    /// Weight per entry of `KINDS`.
+    mix: [u32; 5],
+    out_dir: Option<String>,
+    seed: u64,
+    shutdown: bool,
+}
+
+fn parse_mix(spec: &str) -> [u32; 5] {
+    let mut mix = [0u32; 5];
+    for part in spec.split(',') {
+        let (name, weight) = part
+            .split_once(':')
+            .unwrap_or_else(|| panic!("bad mix entry {part:?} (want name:weight)"));
+        let idx = KINDS
+            .iter()
+            .position(|k| *k == name)
+            .unwrap_or_else(|| panic!("unknown script kind {name:?} (known: {KINDS:?})"));
+        mix[idx] = weight.parse().expect("bad mix weight");
+    }
+    assert!(mix.iter().any(|&w| w > 0), "mix has no positive weight");
+    mix
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7411".to_string(),
+        threads: 4,
+        duration: Duration::from_millis(3000),
+        keys: 1024,
+        skew: 0.2,
+        mix: parse_mix("transfer:40,read:30,counter:20,pq:5,idgen:5"),
+        out_dir: Some("bench_results".to_string()),
+        seed: 0x10AD,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = val(),
+            "--threads" => args.threads = val().parse().expect("bad --threads"),
+            "--duration-ms" => {
+                args.duration = Duration::from_millis(val().parse().expect("bad --duration-ms"))
+            }
+            "--keys" => args.keys = val().parse().expect("bad --keys"),
+            "--skew" => {
+                args.skew = val().parse().expect("bad --skew");
+                assert!((0.0..=1.0).contains(&args.skew), "--skew must be in 0..=1");
+            }
+            "--mix" => args.mix = parse_mix(&val()),
+            "--out-dir" => args.out_dir = Some(val()),
+            "--no-json" => args.out_dir = None,
+            "--seed" => args.seed = val().parse().expect("bad --seed"),
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--addr HOST:PORT] [--threads N] [--duration-ms N] \
+                     [--keys N] [--skew 0..1] [--mix transfer:40,read:30,...] \
+                     [--out-dir DIR | --no-json] [--seed N] [--shutdown]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Pick a key: hot set (first 16 keys, or fewer) with probability
+/// `skew`, uniform otherwise.
+fn pick_key(rng: &mut StdRng, keys: i64, skew: f64) -> i64 {
+    let hot = keys.clamp(1, 16);
+    if skew > 0.0 && rng.random_bool(skew) {
+        rng.random_range(0..hot)
+    } else {
+        rng.random_range(0..keys)
+    }
+}
+
+/// Build one script of the given kind.
+fn build_script(kind: usize, rng: &mut StdRng, keys: i64, skew: f64) -> Vec<ScriptOp> {
+    let a = pick_key(rng, keys, skew);
+    let b = pick_key(rng, keys, skew);
+    match KINDS[kind] {
+        // Unconditional two-key move: exercises multi-key abstract
+        // locking and undo without depending on pre-population.
+        "transfer" => ScriptBuilder::new()
+            .map_remove("accounts", a)
+            .map_insert("accounts", b, a)
+            .build(),
+        "read" => ScriptBuilder::new()
+            .map_contains("accounts", a)
+            .map_contains("accounts", b)
+            .build(),
+        "counter" => ScriptBuilder::new().counter_add("hits", 1).build(),
+        "pq" => ScriptBuilder::new()
+            .pq_add("queue", a)
+            .pq_remove_min("queue")
+            .build(),
+        "idgen" => ScriptBuilder::new().id_gen("ids").build(),
+        _ => unreachable!(),
+    }
+}
+
+/// Per-kind shared counters and latency histograms.
+struct Tally {
+    committed: [AtomicU64; 5],
+    aborted: [AtomicU64; 5],
+    errors: AtomicU64,
+    hist: [LatencyHistogram; 5],
+}
+
+impl Tally {
+    fn new() -> Tally {
+        Tally {
+            committed: Default::default(),
+            aborted: Default::default(),
+            errors: AtomicU64::new(0),
+            hist: Default::default(),
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let total_weight: u32 = args.mix.iter().sum();
+    println!(
+        "loadgen: addr={} threads={} duration={:?} keys={} skew={} mix={}",
+        args.addr,
+        args.threads,
+        args.duration,
+        args.keys,
+        args.skew,
+        KINDS
+            .iter()
+            .zip(args.mix)
+            .filter(|&(_, w)| w > 0)
+            .map(|(k, w)| format!("{k}:{w}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+
+    let tally = Arc::new(Tally::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..args.threads {
+        let tally = Arc::clone(&tally);
+        let stop = Arc::clone(&stop);
+        let addr = args.addr.clone();
+        let (keys, skew, mix, seed) = (args.keys, args.skew, args.mix, args.seed);
+        handles.push(std::thread::spawn(move || {
+            let mut conn = match Connection::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("loadgen[{t}]: connect failed: {e}");
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            };
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+            while !stop.load(Ordering::Relaxed) {
+                let mut roll = rng.random_range(0..total_weight);
+                let kind = (0..5)
+                    .find(|&k| {
+                        if roll < mix[k] {
+                            true
+                        } else {
+                            roll -= mix[k];
+                            false
+                        }
+                    })
+                    .unwrap_or(0);
+                let script = build_script(kind, &mut rng, keys, skew);
+                let t0 = Instant::now();
+                match conn.execute(script) {
+                    Ok(outcome) => {
+                        tally.hist[kind].record_duration(t0.elapsed());
+                        let slot = if outcome.committed() {
+                            &tally.committed[kind]
+                        } else {
+                            &tally.aborted[kind]
+                        };
+                        slot.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        eprintln!("loadgen[{t}]: request failed: {e}");
+                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+    std::thread::sleep(args.duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = started.elapsed();
+
+    let mut report = BenchReport::new("loadgen");
+    report
+        .meta("addr", &args.addr)
+        .meta("duration_ms", args.duration.as_millis().to_string())
+        .meta("threads", args.threads.to_string())
+        .meta("keys", args.keys.to_string())
+        .meta("skew", format!("{}", args.skew));
+
+    println!("\nkind      committed   aborted   txn/s      p50_us     p99_us");
+    let (mut total_committed, mut total_aborted) = (0u64, 0u64);
+    for (k, kind) in KINDS.iter().enumerate() {
+        let committed = tally.committed[k].load(Ordering::Relaxed);
+        let aborted = tally.aborted[k].load(Ordering::Relaxed);
+        total_committed += committed;
+        total_aborted += aborted;
+        if committed + aborted == 0 {
+            continue;
+        }
+        let snap = tally.hist[k].snapshot();
+        let point = SeriesPoint {
+            label: kind.to_string(),
+            threads: args.threads,
+            throughput: committed as f64 / elapsed.as_secs_f64(),
+            committed,
+            aborted,
+            p50_us: snap.p50() as f64 / 1_000.0,
+            p99_us: snap.p99() as f64 / 1_000.0,
+        };
+        println!(
+            "{:<9} {:<11} {:<9} {:<10.0} {:<10.1} {:<10.1}",
+            point.label, committed, aborted, point.throughput, point.p50_us, point.p99_us
+        );
+        report.push(point);
+    }
+    // End-to-end latency over every kind: power-of-two buckets merge
+    // exactly, so the total row is a true aggregate distribution.
+    let merged = tally
+        .hist
+        .iter()
+        .map(|h| h.snapshot())
+        .reduce(|a, b| a.merge(&b))
+        .unwrap_or_default();
+    let total = SeriesPoint {
+        label: "total".to_string(),
+        threads: args.threads,
+        throughput: total_committed as f64 / elapsed.as_secs_f64(),
+        committed: total_committed,
+        aborted: total_aborted,
+        p50_us: merged.p50() as f64 / 1_000.0,
+        p99_us: merged.p99() as f64 / 1_000.0,
+    };
+    println!(
+        "{:<9} {:<11} {:<9} {:<10.0} {:<10.1} {:<10.1}",
+        total.label, total.committed, total.aborted, total.throughput, total.p50_us, total.p99_us
+    );
+    report.push(total);
+
+    let errors = tally.errors.load(Ordering::Relaxed);
+    if errors > 0 {
+        eprintln!("loadgen: {errors} worker error(s)");
+    }
+
+    if let Some(dir) = &args.out_dir {
+        let path = report.write(dir).expect("write BENCH_loadgen.json");
+        println!("  -> {path}");
+    }
+
+    if args.shutdown {
+        match Connection::connect(&args.addr).and_then(|mut c| {
+            c.shutdown_server()
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        }) {
+            Ok(()) => println!("loadgen: server acknowledged shutdown"),
+            Err(e) => {
+                eprintln!("loadgen: shutdown failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if total_committed == 0 || errors > 0 {
+        // A smoke test treats "no progress" as failure.
+        std::process::exit(1);
+    }
+}

@@ -32,6 +32,8 @@
 //! finishes in minutes; pass `--think-us 100000` to `figures` for the
 //! paper's regime.
 
+pub mod report;
+
 use rand::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

@@ -36,6 +36,18 @@ impl BoostedCounter {
         }
     }
 
+    /// A zero counter whose abstract-lock contention is attributed to
+    /// `object` in `registry`.
+    pub fn with_registry(
+        object: &'static str,
+        registry: &txboost_core::obs::ContentionRegistry,
+    ) -> Self {
+        BoostedCounter {
+            base: Arc::new(StripedCounter::default()),
+            lock: Arc::new(TxRwLock::labeled(object, registry)),
+        }
+    }
+
     /// Transactionally add `n` (may be negative). Shared-mode lock;
     /// inverse is `add(-n)`.
     pub fn add(&self, txn: &Txn, n: i64) -> TxResult<()> {

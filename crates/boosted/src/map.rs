@@ -61,6 +61,18 @@ where
         }
     }
 
+    /// An empty map whose abstract-lock contention (timeouts, wait
+    /// times) is attributed to `object` in `registry`.
+    pub fn with_registry(
+        object: &'static str,
+        registry: &txboost_core::obs::ContentionRegistry,
+    ) -> Self {
+        BoostedHashMap {
+            base: Arc::new(StripedHashMap::new()),
+            locks: KeyLockMap::labeled(object, registry),
+        }
+    }
+
     /// Transactionally bind `key` to `value`, returning the previous
     /// value. Inverse: restore the previous binding (re-insert the old
     /// value, or remove the key if it was absent).

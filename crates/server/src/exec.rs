@@ -1,0 +1,513 @@
+//! Script execution: one wire script → one boosted transaction.
+//!
+//! The executor owns the shared [`TxnManager`] (lock-timeout deadlock
+//! recovery, capped exponential backoff between retries — the paper's
+//! retry loop) and the observability surface the `STATS` request
+//! exports: a per-op-type service-time histogram, a whole-script
+//! service-time histogram, per-status script counters, and the
+//! contention registry that attributes lock-timeout aborts to the
+//! object (and key stripe) that caused them.
+
+use crate::namespace::Namespace;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use txboost_core::{
+    Abort, AbortReason, ContentionRegistry, HistogramSnapshot, LatencyHistogram, TxResult, Txn,
+    TxnConfig, TxnError, TxnManager,
+};
+use txboost_wire::{op_name, Op, OpResult, ScriptOp, ScriptStatus, NUM_OPCODES};
+
+/// Outcome of executing one script server-side.
+#[derive(Debug)]
+pub struct ScriptOutcome {
+    /// Commit/abort classification for the reply status byte.
+    pub status: ScriptStatus,
+    /// How many transaction attempts were made (1 = first try).
+    pub attempts: u32,
+    /// Which op failed its guard / raised the debug abort.
+    pub failed_op: Option<u16>,
+    /// Per-op results; empty unless committed.
+    pub results: Vec<OpResult>,
+}
+
+/// Connection-level counters, shared between the acceptors, the
+/// readers and the stats document.
+#[derive(Debug, Default)]
+pub struct ConnMetrics {
+    /// Connections ever accepted.
+    pub accepted: AtomicU64,
+    /// Connections currently open.
+    pub open: AtomicU64,
+    /// Protocol errors (each closed one connection).
+    pub proto_errors: AtomicU64,
+}
+
+/// Executes scripts and accumulates the stats the `STATS` request
+/// reports.
+#[derive(Debug)]
+pub struct Executor {
+    ns: Namespace,
+    tm: TxnManager,
+    /// Service time per op type, indexed by `opcode - 1`.
+    op_hist: [LatencyHistogram; NUM_OPCODES],
+    /// Service time per whole script (execution only, not queueing).
+    script_hist: LatencyHistogram,
+    /// Scripts finished per [`ScriptStatus`] (indexed by status byte).
+    status_counts: [AtomicU64; 6],
+    /// Shared connection counters.
+    pub conns: Arc<ConnMetrics>,
+    started: Instant,
+}
+
+impl Executor {
+    /// An executor over a fresh namespace.
+    pub fn new(txn_config: TxnConfig, default_sem_permits: u64) -> Self {
+        let registry = Arc::new(ContentionRegistry::new());
+        Executor {
+            ns: Namespace::new(Arc::clone(&registry), default_sem_permits),
+            tm: TxnManager::new(txn_config),
+            op_hist: std::array::from_fn(|_| LatencyHistogram::new()),
+            script_hist: LatencyHistogram::new(),
+            status_counts: Default::default(),
+            conns: Arc::new(ConnMetrics::default()),
+            started: Instant::now(),
+        }
+    }
+
+    /// The object namespace (tests seed state through it).
+    pub fn namespace(&self) -> &Namespace {
+        &self.ns
+    }
+
+    /// Run `ops` as one boosted transaction. Never panics on behalf of
+    /// the script: every abort path is mapped to a [`ScriptStatus`].
+    pub fn execute(&self, ops: &[ScriptOp]) -> ScriptOutcome {
+        let t0 = Instant::now();
+        let mut attempts: u32 = 0;
+        let mut results: Vec<OpResult> = Vec::with_capacity(ops.len());
+        // (op index, true = DebugAbort / false = guard mismatch); set
+        // immediately before raising the explicit abort the retry loop
+        // treats as terminal.
+        let failed: Cell<Option<(u16, bool)>> = Cell::new(None);
+        let run = self.tm.run(|txn| {
+            attempts = attempts.saturating_add(1);
+            results.clear();
+            failed.set(None);
+            for (i, sop) in ops.iter().enumerate() {
+                let op_t0 = Instant::now();
+                let r = self.run_op(txn, &sop.op, i as u16, &failed)?;
+                self.op_hist[(sop.op.opcode() - 1) as usize].record_duration(op_t0.elapsed());
+                if !sop.guard.admits(&r) {
+                    failed.set(Some((i as u16, false)));
+                    return Err(Abort::explicit());
+                }
+                results.push(r);
+            }
+            Ok(())
+        });
+        let (status, failed_op) = match run {
+            Ok(()) => (ScriptStatus::Committed, None),
+            Err(TxnError::ExplicitlyAborted) => match failed.get() {
+                Some((i, true)) => (ScriptStatus::DebugAborted, Some(i)),
+                Some((i, false)) => (ScriptStatus::GuardFailed, Some(i)),
+                None => (ScriptStatus::RetriesExhausted, None),
+            },
+            Err(TxnError::RetriesExhausted(reason)) => (
+                match reason {
+                    AbortReason::LockTimeout => ScriptStatus::LockTimeout,
+                    AbortReason::WouldBlock => ScriptStatus::WouldBlock,
+                    _ => ScriptStatus::RetriesExhausted,
+                },
+                None,
+            ),
+            // TxnError is non-exhaustive; treat anything future as a
+            // generic retry exhaustion rather than crashing the server.
+            Err(_) => (ScriptStatus::RetriesExhausted, None),
+        };
+        if status != ScriptStatus::Committed {
+            results.clear();
+        }
+        self.script_hist.record_duration(t0.elapsed());
+        self.status_counts[status_index(status)].fetch_add(1, Ordering::Relaxed);
+        ScriptOutcome {
+            status,
+            attempts,
+            failed_op,
+            results,
+        }
+    }
+
+    fn run_op(
+        &self,
+        txn: &Txn,
+        op: &Op,
+        index: u16,
+        failed: &Cell<Option<(u16, bool)>>,
+    ) -> TxResult<OpResult> {
+        Ok(match op {
+            Op::MapInsert { obj, key, val } => {
+                OpResult::Value(self.ns.map(obj).put(txn, *key, *val)?)
+            }
+            Op::MapRemove { obj, key } => OpResult::Value(self.ns.map(obj).remove(txn, key)?),
+            Op::MapContains { obj, key } => {
+                OpResult::Bool(self.ns.map(obj).contains_key(txn, key)?)
+            }
+            Op::CounterAdd { obj, delta } => {
+                self.ns.counter(obj).add(txn, *delta)?;
+                OpResult::Unit
+            }
+            Op::CounterGet { obj } => OpResult::Value(Some(self.ns.counter(obj).get(txn)?)),
+            Op::SemAcquire { obj } => {
+                self.ns.sem(obj).acquire(txn)?;
+                OpResult::Unit
+            }
+            Op::SemRelease { obj } => {
+                self.ns.sem(obj).release(txn);
+                OpResult::Unit
+            }
+            Op::IdGen { obj } => OpResult::Id(self.ns.idgen(obj).assign_id(txn)?),
+            Op::PqAdd { obj, key } => {
+                self.ns.pq(obj).add(txn, *key)?;
+                OpResult::Unit
+            }
+            Op::PqRemoveMin { obj } => OpResult::Value(self.ns.pq(obj).remove_min(txn)?),
+            Op::DebugAbort => {
+                failed.set(Some((index, true)));
+                return Err(Abort::explicit());
+            }
+        })
+    }
+
+    /// Render the `STATS` document: transaction counters, per-op-type
+    /// service-time histograms (count/mean/p50/p99), script service
+    /// time, abort attribution by object, connection counters, and
+    /// object census.
+    pub fn stats_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        push_kv_u64(
+            &mut out,
+            "uptime_ms",
+            self.started.elapsed().as_millis().min(u64::MAX as u128) as u64,
+        );
+
+        let txn = self.tm.stats().snapshot();
+        out.push_str(",\"txn\":{");
+        push_kv_u64(&mut out, "started", txn.started);
+        out.push(',');
+        push_kv_u64(&mut out, "committed", txn.committed);
+        out.push(',');
+        push_kv_u64(&mut out, "aborted", txn.aborted);
+        out.push(',');
+        push_kv_u64(&mut out, "lock_timeouts", txn.lock_timeouts);
+        out.push(',');
+        push_kv_u64(&mut out, "would_block", txn.would_block_aborts);
+        out.push(',');
+        push_kv_u64(&mut out, "explicit", txn.explicit_aborts);
+        out.push('}');
+
+        out.push_str(",\"scripts\":{");
+        for (i, status) in [
+            ScriptStatus::Committed,
+            ScriptStatus::LockTimeout,
+            ScriptStatus::WouldBlock,
+            ScriptStatus::GuardFailed,
+            ScriptStatus::DebugAborted,
+            ScriptStatus::RetriesExhausted,
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            push_kv_u64(
+                &mut out,
+                status.name(),
+                self.status_counts[i].load(Ordering::Relaxed),
+            );
+        }
+        out.push('}');
+
+        out.push_str(",\"ops\":{");
+        let mut first = true;
+        for (i, hist) in self.op_hist.iter().enumerate() {
+            let name = op_name(i as u8 + 1).expect("opcode table covers histogram range");
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            push_hist(&mut out, &hist.snapshot());
+        }
+        out.push('}');
+
+        out.push_str(",\"script_service\":");
+        push_hist(&mut out, &self.script_hist.snapshot());
+
+        out.push_str(",\"abort_attribution\":{");
+        let snap = self.ns.registry().snapshot();
+        for (i, (object, timeouts)) in snap.timeouts_by_object().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape_into(&mut out, object);
+            out.push_str("\":");
+            out.push_str(&timeouts.to_string());
+        }
+        out.push('}');
+
+        out.push_str(",\"connections\":{");
+        push_kv_u64(
+            &mut out,
+            "accepted",
+            self.conns.accepted.load(Ordering::Relaxed),
+        );
+        out.push(',');
+        push_kv_u64(&mut out, "open", self.conns.open.load(Ordering::Relaxed));
+        out.push(',');
+        push_kv_u64(
+            &mut out,
+            "proto_errors",
+            self.conns.proto_errors.load(Ordering::Relaxed),
+        );
+        out.push('}');
+
+        let (maps, counters, sems, idgens, pqs) = self.ns.object_counts();
+        out.push_str(",\"objects\":{");
+        push_kv_u64(&mut out, "maps", maps as u64);
+        out.push(',');
+        push_kv_u64(&mut out, "counters", counters as u64);
+        out.push(',');
+        push_kv_u64(&mut out, "sems", sems as u64);
+        out.push(',');
+        push_kv_u64(&mut out, "idgens", idgens as u64);
+        out.push(',');
+        push_kv_u64(&mut out, "pqs", pqs as u64);
+        out.push('}');
+
+        out.push('}');
+        out
+    }
+}
+
+fn status_index(s: ScriptStatus) -> usize {
+    match s {
+        ScriptStatus::Committed => 0,
+        ScriptStatus::LockTimeout => 1,
+        ScriptStatus::WouldBlock => 2,
+        ScriptStatus::GuardFailed => 3,
+        ScriptStatus::DebugAborted => 4,
+        ScriptStatus::RetriesExhausted => 5,
+    }
+}
+
+fn push_kv_u64(out: &mut String, key: &str, value: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn push_hist(out: &mut String, h: &HistogramSnapshot) {
+    out.push('{');
+    push_kv_u64(out, "count", h.count());
+    out.push(',');
+    push_kv_u64(out, "mean_ns", h.mean());
+    out.push(',');
+    push_kv_u64(out, "p50_ns", h.p50());
+    out.push(',');
+    push_kv_u64(out, "p99_ns", h.p99());
+    out.push('}');
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use txboost_wire::Guard;
+
+    fn exec() -> Executor {
+        Executor::new(
+            TxnConfig {
+                lock_timeout: Duration::from_millis(5),
+                max_retries: Some(16),
+                ..TxnConfig::default()
+            },
+            4,
+        )
+    }
+
+    fn op(op: Op) -> ScriptOp {
+        ScriptOp::new(op)
+    }
+
+    #[test]
+    fn script_commits_and_returns_per_op_results() {
+        let e = exec();
+        let out = e.execute(&[
+            op(Op::MapInsert {
+                obj: "m".into(),
+                key: 1,
+                val: 10,
+            }),
+            op(Op::MapInsert {
+                obj: "m".into(),
+                key: 1,
+                val: 20,
+            }),
+            op(Op::MapContains {
+                obj: "m".into(),
+                key: 1,
+            }),
+            op(Op::CounterAdd {
+                obj: "c".into(),
+                delta: 5,
+            }),
+            op(Op::CounterGet { obj: "c".into() }),
+            op(Op::IdGen { obj: "g".into() }),
+            op(Op::PqAdd {
+                obj: "q".into(),
+                key: 3,
+            }),
+            op(Op::PqRemoveMin { obj: "q".into() }),
+        ]);
+        assert_eq!(out.status, ScriptStatus::Committed);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(
+            out.results,
+            vec![
+                OpResult::Value(None),
+                OpResult::Value(Some(10)),
+                OpResult::Bool(true),
+                OpResult::Unit,
+                OpResult::Value(Some(5)),
+                OpResult::Id(0),
+                OpResult::Unit,
+                OpResult::Value(Some(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn debug_abort_rolls_back_everything() {
+        let e = exec();
+        let out = e.execute(&[
+            op(Op::MapInsert {
+                obj: "m".into(),
+                key: 7,
+                val: 1,
+            }),
+            op(Op::CounterAdd {
+                obj: "c".into(),
+                delta: 100,
+            }),
+            op(Op::DebugAbort),
+        ]);
+        assert_eq!(out.status, ScriptStatus::DebugAborted);
+        assert_eq!(out.failed_op, Some(2));
+        assert!(out.results.is_empty());
+        // No partial effects.
+        let check = e.execute(&[
+            op(Op::MapContains {
+                obj: "m".into(),
+                key: 7,
+            }),
+            op(Op::CounterGet { obj: "c".into() }),
+        ]);
+        assert_eq!(
+            check.results,
+            vec![OpResult::Bool(false), OpResult::Value(Some(0))]
+        );
+    }
+
+    #[test]
+    fn guard_failure_aborts_atomically_and_names_the_op() {
+        let e = exec();
+        let out = e.execute(&[
+            op(Op::MapInsert {
+                obj: "m".into(),
+                key: 1,
+                val: 1,
+            }),
+            // Key 2 is absent: the ExpectSome guard must fail.
+            ScriptOp::guarded(
+                Op::MapRemove {
+                    obj: "m".into(),
+                    key: 2,
+                },
+                Guard::ExpectSome,
+            ),
+        ]);
+        assert_eq!(out.status, ScriptStatus::GuardFailed);
+        assert_eq!(out.failed_op, Some(1));
+        // The first op was rolled back too.
+        let check = e.execute(&[op(Op::MapContains {
+            obj: "m".into(),
+            key: 1,
+        })]);
+        assert_eq!(check.results, vec![OpResult::Bool(false)]);
+    }
+
+    #[test]
+    fn exhausted_semaphore_reports_would_block() {
+        let e = Executor::new(
+            TxnConfig {
+                lock_timeout: Duration::from_millis(1),
+                max_retries: Some(1),
+                backoff_min: Duration::from_micros(10),
+                backoff_max: Duration::from_micros(100),
+            },
+            0, // semaphores start empty
+        );
+        let out = e.execute(&[op(Op::SemAcquire { obj: "s".into() })]);
+        assert_eq!(out.status, ScriptStatus::WouldBlock);
+        assert!(out.attempts >= 2, "retry loop must have retried");
+    }
+
+    #[test]
+    fn stats_json_reports_per_op_histograms() {
+        let e = exec();
+        e.execute(&[op(Op::MapInsert {
+            obj: "m".into(),
+            key: 1,
+            val: 1,
+        })]);
+        let json = e.stats_json();
+        assert!(json.contains("\"map_insert\":{\"count\":1"), "{json}");
+        assert!(json.contains("\"committed\":1"), "{json}");
+        assert!(json.contains("\"script_service\":{\"count\":1"), "{json}");
+        assert!(json.contains("\"maps\":1"), "{json}");
+        // Well-formed enough for line-oriented checks: braces balance.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn json_escaping_handles_hostile_names() {
+        let mut s = String::new();
+        json_escape_into(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "a\\\"b\\\\c\\u000ad");
+    }
+}

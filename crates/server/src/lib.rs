@@ -1,0 +1,555 @@
+//! # txboost-server — a networked transactional-object service
+//!
+//! Serves the `txboost-wire` protocol over TCP: each request frame is
+//! a **transaction script** that the server executes atomically as one
+//! boosted transaction (abstract locks, undo logs, lock-timeout
+//! deadlock recovery with capped exponential backoff between retries),
+//! replying with per-op results or an abort code.
+//!
+//! ## Executor model
+//!
+//! No async runtime: everything is `std::net` + threads.
+//!
+//! * **Sharded acceptors** — `acceptors` threads share one listening
+//!   socket (each owns a `try_clone` of it) and race on `accept`.
+//! * **One reader per connection** — decodes frames and forwards
+//!   decoded requests to a worker. Malformed or oversized frames get a
+//!   protocol-error reply and cost exactly that connection, never the
+//!   process.
+//! * **Thread-per-core workers** — `workers` executor threads (default:
+//!   one per core), each owning an MPSC queue. A connection is pinned
+//!   to `conn_id % workers`, so one connection's pipelined requests
+//!   execute in order (replies come back in request order) while
+//!   different connections run in parallel on different cores.
+//! * **Bounded in-flight window** — each connection holds a
+//!   [`ServerConfig::window`]-slot semaphore; the reader takes a slot
+//!   per decoded request and the worker returns it after writing the
+//!   reply. When a client pipelines faster than its scripts execute,
+//!   the reader stops reading and TCP backpressure reaches the client.
+//! * **Graceful drain** — a wire `Shutdown` frame or SIGTERM stops the
+//!   acceptors and readers; queued scripts still execute and get
+//!   replies before sockets close. [`Server::join`] returns once the
+//!   drain is complete.
+
+#![warn(missing_docs)]
+
+mod exec;
+mod namespace;
+#[cfg(unix)]
+pub mod signal;
+
+pub use exec::{Executor, ScriptOutcome};
+pub use namespace::Namespace;
+
+use parking_lot::{Condvar, Mutex};
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use txboost_core::TxnConfig;
+use txboost_wire as wire;
+use txboost_wire::{ProtoErrorCode, Request, Response, WireError};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `"127.0.0.1:7411"`. Use port 0 to let the
+    /// OS pick (tests).
+    pub addr: String,
+    /// Acceptor shards racing on the listening socket.
+    pub acceptors: usize,
+    /// Executor threads (default: one per core).
+    pub workers: usize,
+    /// Per-connection in-flight request window (backpressure bound).
+    pub window: usize,
+    /// Maximum accepted frame payload size.
+    pub max_frame: u32,
+    /// Permits a semaphore is created with on first reference.
+    pub default_sem_permits: u64,
+    /// Transaction runtime configuration: lock timeout (deadlock
+    /// recovery), retry cap, and backoff bounds. `max_retries` should
+    /// be `Some(_)` in a server — an unbounded retry loop would let one
+    /// pathological script occupy a worker forever.
+    pub txn: TxnConfig,
+    /// How often blocked reads/accepts wake up to check for shutdown.
+    pub poll_interval: Duration,
+    /// How long a drain waits for a half-received frame before giving
+    /// up on that connection.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServerConfig {
+            addr: "127.0.0.1:7411".to_string(),
+            acceptors: cores.min(4),
+            workers: cores,
+            window: 32,
+            max_frame: wire::MAX_FRAME_LEN,
+            default_sem_permits: 1024,
+            txn: TxnConfig {
+                lock_timeout: Duration::from_millis(10),
+                max_retries: Some(64),
+                backoff_min: Duration::from_micros(5),
+                backoff_max: Duration::from_millis(2),
+            },
+            poll_interval: Duration::from_millis(25),
+            drain_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Per-connection in-flight window: a tiny counting semaphore.
+#[derive(Debug)]
+struct WindowSem {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl WindowSem {
+    fn new(n: usize) -> Self {
+        WindowSem {
+            permits: Mutex::new(n.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut p = self.permits.lock();
+        while *p == 0 {
+            self.cv.wait(&mut p);
+        }
+        *p -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock() += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// Shared per-connection state: the write half (workers and the reader
+/// both send frames) and the backpressure window.
+#[derive(Debug)]
+struct Conn {
+    writer: Mutex<BufWriter<TcpStream>>,
+    window: WindowSem,
+}
+
+impl Conn {
+    /// Send one response frame; `false` means the connection is gone
+    /// (the peer will simply never see the reply).
+    fn send(&self, resp: &Response) -> bool {
+        let mut w = self.writer.lock();
+        wire::send_response(&mut *w, resp).is_ok() && w.flush().is_ok()
+    }
+}
+
+enum Job {
+    Request { conn: Arc<Conn>, req: Request },
+    Stop,
+}
+
+struct Shared {
+    exec: Executor,
+    shutdown: AtomicBool,
+    cfg: ServerConfig,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`Server::shutdown`] + [`Server::join`] (or [`Server::wait`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptors: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    worker_txs: Vec<Sender<Job>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind and start serving. Returns once the listener is live.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            exec: Executor::new(cfg.txn.clone(), cfg.default_sem_permits),
+            shutdown: AtomicBool::new(false),
+            cfg: cfg.clone(),
+        });
+
+        let mut worker_txs = Vec::with_capacity(cfg.workers.max(1));
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for i in 0..cfg.workers.max(1) {
+            let (tx, rx) = std::sync::mpsc::channel::<Job>();
+            let shared2 = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("txboost-worker-{i}"))
+                    .spawn(move || worker_loop(shared2, rx))
+                    .expect("spawn worker"),
+            );
+            worker_txs.push(tx);
+        }
+
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let next_conn_id = Arc::new(AtomicU64::new(0));
+        let mut acceptors = Vec::with_capacity(cfg.acceptors.max(1));
+        for i in 0..cfg.acceptors.max(1) {
+            let listener = listener.try_clone()?;
+            let shared2 = Arc::clone(&shared);
+            let txs = worker_txs.clone();
+            let readers2 = Arc::clone(&readers);
+            let ids = Arc::clone(&next_conn_id);
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name(format!("txboost-accept-{i}"))
+                    .spawn(move || acceptor_loop(shared2, listener, txs, readers2, ids))
+                    .expect("spawn acceptor"),
+            );
+        }
+
+        Ok(Server {
+            shared,
+            addr,
+            acceptors,
+            workers,
+            worker_txs,
+            readers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The executor (tests use it to seed or inspect objects without a
+    /// round trip; everything it touches is transactional).
+    pub fn executor(&self) -> &Executor {
+        &self.shared.exec
+    }
+
+    /// Request a graceful drain: acceptors and readers stop, queued
+    /// scripts finish and get replies. Idempotent; returns immediately
+    /// (pair with [`Server::join`]).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested (wire `Shutdown`, SIGTERM
+    /// monitor, or [`Server::shutdown`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Drain and join every thread. Requests shutdown if nobody has
+    /// yet. In-flight requests get their replies before this returns.
+    pub fn join(self) {
+        self.shutdown();
+        for h in self.acceptors {
+            let _ = h.join();
+        }
+        // Acceptors are done, so no new readers appear; drain whatever
+        // exists (readers exit on their next poll tick).
+        loop {
+            let handles: Vec<_> = std::mem::take(&mut *self.readers.lock());
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        // Readers are gone: workers' queues can only shrink. A Stop
+        // job behind the remaining work makes each worker drain then
+        // exit.
+        for tx in &self.worker_txs {
+            let _ = tx.send(Job::Stop);
+        }
+        drop(self.worker_txs);
+        for h in self.workers {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until a shutdown is requested (by a wire `Shutdown`
+    /// frame, [`Server::shutdown`] from another thread, or — when
+    /// `sigterm` is true — SIGTERM), then drain and join.
+    pub fn wait(self, sigterm: bool) {
+        let poll = self.shared.cfg.poll_interval;
+        loop {
+            if self.shutdown_requested() {
+                break;
+            }
+            #[cfg(unix)]
+            if sigterm && signal::term_requested() {
+                self.shutdown();
+                break;
+            }
+            #[cfg(not(unix))]
+            let _ = sigterm;
+            std::thread::sleep(poll);
+        }
+        self.join();
+    }
+}
+
+fn acceptor_loop(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    worker_txs: Vec<Sender<Job>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    next_conn_id: Arc<AtomicU64>,
+) {
+    let poll = shared.cfg.poll_interval;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                let conns = &shared.exec.conns;
+                conns.accepted.fetch_add(1, Ordering::Relaxed);
+                conns.open.fetch_add(1, Ordering::Relaxed);
+                let id = next_conn_id.fetch_add(1, Ordering::Relaxed);
+                let write_half = match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        conns.open.fetch_sub(1, Ordering::Relaxed);
+                        continue;
+                    }
+                };
+                let conn = Arc::new(Conn {
+                    writer: Mutex::new(BufWriter::new(write_half)),
+                    window: WindowSem::new(shared.cfg.window),
+                });
+                let tx = worker_txs[(id as usize) % worker_txs.len()].clone();
+                let shared2 = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("txboost-conn-{id}"))
+                    .spawn(move || reader_loop(shared2, conn, stream, tx))
+                    .expect("spawn reader");
+                readers.lock().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(poll),
+            Err(_) => std::thread::sleep(poll),
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Stop => break,
+            Job::Request { conn, req } => {
+                let resp = match req {
+                    Request::Script { req_id, ops } => {
+                        let out = shared.exec.execute(&ops);
+                        Response::Script {
+                            req_id,
+                            status: out.status,
+                            attempts: out.attempts,
+                            failed_op: out.failed_op,
+                            results: out.results,
+                        }
+                    }
+                    Request::Stats { req_id } => Response::Stats {
+                        req_id,
+                        json: shared.exec.stats_json(),
+                    },
+                    Request::Ping { req_id } => Response::Pong { req_id },
+                    Request::Shutdown { req_id } => {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        Response::ShutdownAck { req_id }
+                    }
+                };
+                conn.send(&resp);
+                conn.window.release();
+            }
+        }
+    }
+}
+
+/// How one attempt to read a frame ended.
+enum FrameRead {
+    /// A whole frame payload.
+    Frame(Vec<u8>),
+    /// Clean close (EOF at a frame boundary, or drain with no partial
+    /// frame pending).
+    Closed,
+    /// The peer advertised a frame over the limit.
+    Oversized(u32),
+    /// EOF or drain deadline inside a frame.
+    Truncated,
+    /// Transport error.
+    Io,
+}
+
+/// Read one frame, waking every read timeout to honour shutdown. A
+/// drain abandons the connection only at a frame boundary, or after
+/// `drain_grace` if the peer stalls mid-frame.
+fn read_frame_interruptible(shared: &Shared, stream: &mut TcpStream) -> FrameRead {
+    let mut stop_since: Option<Instant> = None;
+    let mut fill = |buf: &mut [u8], at_boundary: bool, stop_since: &mut Option<Instant>| {
+        let mut got = 0usize;
+        while got < buf.len() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                if at_boundary && got == 0 {
+                    return Err(FrameRead::Closed);
+                }
+                let since = stop_since.get_or_insert_with(Instant::now);
+                if since.elapsed() > shared.cfg.drain_grace {
+                    return Err(FrameRead::Truncated);
+                }
+            }
+            match stream.read(&mut buf[got..]) {
+                Ok(0) => {
+                    return Err(if at_boundary && got == 0 {
+                        FrameRead::Closed
+                    } else {
+                        FrameRead::Truncated
+                    })
+                }
+                Ok(n) => got += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(_) => return Err(FrameRead::Io),
+            }
+        }
+        Ok(())
+    };
+
+    let mut header = [0u8; 4];
+    if let Err(end) = fill(&mut header, true, &mut stop_since) {
+        return end;
+    }
+    let len = u32::from_le_bytes(header);
+    if len > shared.cfg.max_frame {
+        return FrameRead::Oversized(len);
+    }
+    let mut payload = vec![0u8; len as usize];
+    if let Err(end) = fill(&mut payload, false, &mut stop_since) {
+        return end;
+    }
+    FrameRead::Frame(payload)
+}
+
+fn reader_loop(shared: Arc<Shared>, conn: Arc<Conn>, mut stream: TcpStream, tx: Sender<Job>) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    loop {
+        match read_frame_interruptible(&shared, &mut stream) {
+            FrameRead::Frame(payload) => match wire::decode_request(&payload) {
+                Ok(req) => {
+                    let stop_after = matches!(req, Request::Shutdown { .. });
+                    // Backpressure: block until a window slot frees
+                    // up. The worker releases the slot after writing
+                    // the reply, so a stalled executor stops the read
+                    // loop and, through TCP, the client.
+                    conn.window.acquire();
+                    if tx
+                        .send(Job::Request {
+                            conn: Arc::clone(&conn),
+                            req,
+                        })
+                        .is_err()
+                    {
+                        conn.window.release();
+                        break;
+                    }
+                    if stop_after {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    proto_error(&shared, &conn, &e);
+                    break;
+                }
+            },
+            FrameRead::Oversized(len) => {
+                proto_error(
+                    &shared,
+                    &conn,
+                    &WireError::FrameTooLarge {
+                        len,
+                        max: shared.cfg.max_frame,
+                    },
+                );
+                break;
+            }
+            FrameRead::Closed | FrameRead::Truncated | FrameRead::Io => break,
+        }
+    }
+    shared.exec.conns.open.fetch_sub(1, Ordering::Relaxed);
+    // Dropping `stream` (read half) and our `conn` Arc closes the
+    // socket once in-flight replies have been written (workers hold
+    // the remaining Arcs).
+}
+
+/// Reply with a protocol error, then let the caller close the
+/// connection — after a framing violation the byte stream can no
+/// longer be trusted to be frame-aligned.
+fn proto_error(shared: &Shared, conn: &Conn, err: &WireError) {
+    shared
+        .exec
+        .conns
+        .proto_errors
+        .fetch_add(1, Ordering::Relaxed);
+    let code = match err {
+        WireError::FrameTooLarge { .. } => ProtoErrorCode::FrameTooLarge,
+        WireError::UnknownKind(_) => ProtoErrorCode::UnknownKind,
+        WireError::TooManyOps(_) => ProtoErrorCode::TooManyOps,
+        _ => ProtoErrorCode::Malformed,
+    };
+    conn.send(&Response::Error {
+        req_id: 0,
+        code,
+        message: err.to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_sem_blocks_at_zero_and_wakes_on_release() {
+        let sem = Arc::new(WindowSem::new(2));
+        sem.acquire();
+        sem.acquire();
+        let s2 = Arc::clone(&sem);
+        let waiter = std::thread::spawn(move || {
+            s2.acquire();
+            true
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "third acquire must block");
+        sem.release();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn bind_on_ephemeral_port_and_drain_immediately() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        server.shutdown();
+        server.join(); // must not hang with zero connections
+    }
+}

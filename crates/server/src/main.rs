@@ -1,0 +1,70 @@
+//! The `txboost-server` binary.
+//!
+//! ```text
+//! txboost-server [--addr 127.0.0.1:7411] [--workers N] [--acceptors N]
+//!                [--window N] [--max-frame BYTES]
+//!                [--lock-timeout-us N] [--max-retries N]
+//!                [--default-sem-permits N]
+//! ```
+//!
+//! Runs until a wire `Shutdown` frame, SIGTERM, or SIGINT, then drains
+//! gracefully: in-flight transactions finish and get replies before
+//! the process exits 0.
+
+use std::time::Duration;
+use txboost_server::{Server, ServerConfig};
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = val(),
+            "--workers" => cfg.workers = val().parse().expect("bad --workers"),
+            "--acceptors" => cfg.acceptors = val().parse().expect("bad --acceptors"),
+            "--window" => cfg.window = val().parse().expect("bad --window"),
+            "--max-frame" => cfg.max_frame = val().parse().expect("bad --max-frame"),
+            "--lock-timeout-us" => {
+                cfg.txn.lock_timeout =
+                    Duration::from_micros(val().parse().expect("bad --lock-timeout-us"))
+            }
+            "--max-retries" => {
+                cfg.txn.max_retries = Some(val().parse().expect("bad --max-retries"))
+            }
+            "--default-sem-permits" => {
+                cfg.default_sem_permits = val().parse().expect("bad --default-sem-permits")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: txboost-server [--addr HOST:PORT] [--workers N] [--acceptors N] \
+                     [--window N] [--max-frame BYTES] [--lock-timeout-us N] [--max-retries N] \
+                     [--default-sem-permits N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    #[cfg(unix)]
+    txboost_server::signal::install();
+
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("txboost-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("txboost-server listening on {}", server.local_addr());
+
+    server.wait(true);
+    println!("txboost-server: drained cleanly");
+}

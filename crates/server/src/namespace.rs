@@ -1,0 +1,181 @@
+//! The server's object namespace: named boosted-object instances,
+//! created on first reference.
+//!
+//! Namespaces are per-type — the map named `"x"` and the counter named
+//! `"x"` are distinct objects — mirroring how the wire protocol's
+//! opcodes already select the type. Every lock-bearing object is
+//! registered with the server's [`ContentionRegistry`] so `STATS` can
+//! attribute abort-causing lock timeouts to the object (and key
+//! stripe) that caused them.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use txboost_collections::{
+    BoostedCounter, BoostedHashMap, BoostedPQueue, ReleasePolicy, TSemaphore, UniqueIdGen,
+};
+use txboost_core::ContentionRegistry;
+
+/// Named object instances, created lazily.
+#[derive(Debug)]
+pub struct Namespace {
+    maps: Mutex<HashMap<String, Arc<BoostedHashMap<i64, i64>>>>,
+    counters: Mutex<HashMap<String, Arc<BoostedCounter>>>,
+    sems: Mutex<HashMap<String, TSemaphore>>,
+    idgens: Mutex<HashMap<String, UniqueIdGen>>,
+    pqs: Mutex<HashMap<String, Arc<BoostedPQueue<i64>>>>,
+    registry: Arc<ContentionRegistry>,
+    default_sem_permits: u64,
+}
+
+/// Intern an object label for the contention registry.
+///
+/// [`txboost_core::obs::LockLabel`] carries `&'static str` so that the
+/// hot path never touches owned strings; server object names arrive
+/// over the wire, so the first (and only the first) reference to each
+/// name leaks one small allocation. Bounded by the number of distinct
+/// object names a deployment uses — effectively a string intern table.
+fn intern_label(kind: &str, name: &str) -> &'static str {
+    Box::leak(format!("{kind}:{name}").into_boxed_str())
+}
+
+impl Namespace {
+    /// An empty namespace reporting contention to `registry`.
+    /// Semaphores are created with `default_sem_permits` permits.
+    pub fn new(registry: Arc<ContentionRegistry>, default_sem_permits: u64) -> Self {
+        Namespace {
+            maps: Mutex::new(HashMap::new()),
+            counters: Mutex::new(HashMap::new()),
+            sems: Mutex::new(HashMap::new()),
+            idgens: Mutex::new(HashMap::new()),
+            pqs: Mutex::new(HashMap::new()),
+            registry,
+            default_sem_permits,
+        }
+    }
+
+    /// The registry objects report contention to.
+    pub fn registry(&self) -> &ContentionRegistry {
+        &self.registry
+    }
+
+    /// The map named `name`, created on first reference.
+    pub fn map(&self, name: &str) -> Arc<BoostedHashMap<i64, i64>> {
+        let mut maps = self.maps.lock();
+        match maps.get(name) {
+            Some(m) => Arc::clone(m),
+            None => {
+                let m = Arc::new(BoostedHashMap::with_registry(
+                    intern_label("map", name),
+                    &self.registry,
+                ));
+                maps.insert(name.to_string(), Arc::clone(&m));
+                m
+            }
+        }
+    }
+
+    /// The counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<BoostedCounter> {
+        let mut counters = self.counters.lock();
+        match counters.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(BoostedCounter::with_registry(
+                    intern_label("counter", name),
+                    &self.registry,
+                ));
+                counters.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The semaphore named `name` (created with the configured default
+    /// permit count).
+    pub fn sem(&self, name: &str) -> TSemaphore {
+        let mut sems = self.sems.lock();
+        match sems.get(name) {
+            Some(s) => s.clone(),
+            None => {
+                let s = TSemaphore::new(self.default_sem_permits);
+                sems.insert(name.to_string(), s.clone());
+                s
+            }
+        }
+    }
+
+    /// The unique-ID generator named `name`.
+    pub fn idgen(&self, name: &str) -> UniqueIdGen {
+        let mut idgens = self.idgens.lock();
+        match idgens.get(name) {
+            Some(g) => g.clone(),
+            None => {
+                let g = UniqueIdGen::new(ReleasePolicy::Leak);
+                idgens.insert(name.to_string(), g.clone());
+                g
+            }
+        }
+    }
+
+    /// The priority queue named `name`.
+    pub fn pq(&self, name: &str) -> Arc<BoostedPQueue<i64>> {
+        let mut pqs = self.pqs.lock();
+        match pqs.get(name) {
+            Some(q) => Arc::clone(q),
+            None => {
+                let q = Arc::new(BoostedPQueue::with_registry(
+                    intern_label("pq", name),
+                    &self.registry,
+                ));
+                pqs.insert(name.to_string(), Arc::clone(&q));
+                q
+            }
+        }
+    }
+
+    /// Number of live object instances per type:
+    /// `(maps, counters, sems, idgens, pqs)`.
+    pub fn object_counts(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.maps.lock().len(),
+            self.counters.lock().len(),
+            self.sems.lock().len(),
+            self.idgens.lock().len(),
+            self.pqs.lock().len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txboost_core::TxnManager;
+
+    #[test]
+    fn objects_are_created_once_and_shared() {
+        let ns = Namespace::new(Arc::new(ContentionRegistry::new()), 3);
+        let m1 = ns.map("a");
+        let m2 = ns.map("a");
+        assert!(Arc::ptr_eq(&m1, &m2));
+        let tm = TxnManager::default();
+        tm.run(|t| m1.put(t, 1, 10)).unwrap();
+        assert_eq!(tm.run(|t| m2.get(t, &1)).unwrap(), Some(10));
+        assert_eq!(ns.object_counts(), (1, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn type_namespaces_are_disjoint() {
+        let ns = Namespace::new(Arc::new(ContentionRegistry::new()), 3);
+        let _ = ns.map("x");
+        let _ = ns.counter("x");
+        let _ = ns.pq("x");
+        assert_eq!(ns.object_counts(), (1, 1, 0, 0, 1));
+    }
+
+    #[test]
+    fn semaphores_start_with_configured_permits() {
+        let ns = Namespace::new(Arc::new(ContentionRegistry::new()), 7);
+        assert_eq!(ns.sem("gate").available(), 7);
+    }
+}

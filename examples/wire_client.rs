@@ -1,0 +1,114 @@
+//! The network layer end to end, in one process.
+//!
+//! Run with: `cargo run --example wire_client`
+//!
+//! Starts a `txboost-server` on an ephemeral loopback port, connects a
+//! `txboost-client`, and walks the wire protocol: atomic multi-op
+//! scripts, guarded (conditional) transfers, rollback on forced abort,
+//! pipelining, server stats, graceful shutdown. Against a real daemon
+//! the only change is the address: `Connection::connect("host:7411")`.
+
+use txboost_client::{Connection, ScriptBuilder};
+use txboost_server::{Server, ServerConfig};
+use txboost_wire::{Guard, OpResult, ScriptStatus};
+
+fn main() {
+    // --- Start a server (in-process here; normally its own binary:
+    // `cargo run -p txboost-server -- --addr 127.0.0.1:7411`). --------
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    println!("server on {addr}");
+
+    let mut conn = Connection::connect(&addr).expect("connect");
+
+    // --- 1. A script is one atomic transaction. ----------------------
+    // Three ops over two named objects: all commit or none do.
+    let out = conn
+        .execute(
+            ScriptBuilder::new()
+                .map_insert("accounts", 1, 100)
+                .map_insert("accounts", 2, 50)
+                .counter_add("audit", 2)
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(out.status, ScriptStatus::Committed);
+    println!(
+        "seeded two accounts in one transaction ({} ops)",
+        out.results.len()
+    );
+
+    // --- 2. Guards make scripts conditional. -------------------------
+    // Move account 1's balance to account 3, but only if 1 exists and
+    // 3 doesn't. On a guard failure the whole script rolls back.
+    let out = conn
+        .execute(
+            ScriptBuilder::new()
+                .map_remove_guarded("accounts", 1, Guard::ExpectSome)
+                .map_insert_guarded("accounts", 3, 100, Guard::ExpectNone)
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(out.status, ScriptStatus::Committed);
+    println!("guarded transfer committed: {:?}", out.results);
+
+    // Running the same transfer again must fail its first guard (1 is
+    // gone) and leave everything untouched.
+    let out = conn
+        .execute(
+            ScriptBuilder::new()
+                .map_remove_guarded("accounts", 1, Guard::ExpectSome)
+                .map_insert_guarded("accounts", 3, 100, Guard::ExpectNone)
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(out.status, ScriptStatus::GuardFailed);
+    assert_eq!(out.failed_op, Some(0));
+    println!(
+        "replayed transfer refused at op {:?} — state intact",
+        out.failed_op
+    );
+
+    // --- 3. Forced aborts roll back too. -----------------------------
+    let out = conn
+        .execute(
+            ScriptBuilder::new()
+                .map_insert("accounts", 9, 999)
+                .debug_abort()
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(out.status, ScriptStatus::DebugAborted);
+    let out = conn
+        .execute(ScriptBuilder::new().map_contains("accounts", 9).build())
+        .unwrap();
+    assert_eq!(out.results[0], OpResult::Bool(false));
+    println!("aborted insert left no trace");
+
+    // --- 4. Pipelining: send a batch, then collect replies in order. -
+    let ids: Vec<u64> = (0..8)
+        .map(|_| {
+            conn.send_script(ScriptBuilder::new().id_gen("tickets").build())
+                .unwrap()
+        })
+        .collect();
+    for want in ids {
+        let (got, out) = conn.recv_script().unwrap();
+        assert_eq!(got, want);
+        if let OpResult::Id(id) = out.results[0] {
+            print!("ticket {id} ");
+        }
+    }
+    println!();
+
+    // --- 5. Stats and graceful shutdown. -----------------------------
+    let stats = conn.stats_json().unwrap();
+    println!("stats: {} bytes of JSON", stats.len());
+    conn.shutdown_server().unwrap();
+    server.join(); // in-flight work drains before this returns
+    println!("server drained cleanly");
+}
