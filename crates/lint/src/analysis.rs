@@ -1,0 +1,421 @@
+//! Per-file structural analysis over the token stream: function
+//! extents, `#[cfg(test)]` regions, handler-closure regions
+//! (`log_undo` / `defer_on_commit` / `defer_on_abort` / the server's
+//! retry closure), and `// txboost-lint: allow(...)` suppressions.
+
+use crate::source::{lex, Comment, TokKind, Token};
+use std::collections::BTreeSet;
+
+/// A function item found in the token stream.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// Token-index range `[sig_start, body_open)` — `fn` through the
+    /// token before the body's `{`. Empty body (trait decl) ends at `;`.
+    pub sig: (usize, usize),
+    /// Token-index range `[body_open, body_close]` of the `{ ... }`
+    /// body, or `None` for a bodyless declaration.
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the function sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// Why a closure region is considered a *handler* (code that may run at
+/// commit/abort time, or the server's transaction retry closure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerKind {
+    /// `txn.log_undo(...)` — the inverse, replayed on abort.
+    Undo,
+    /// `txn.defer_on_commit(...)` — disposable commit-time action.
+    DeferCommit,
+    /// `txn.defer_on_abort(...)` — deferred abort-time action.
+    DeferAbort,
+    /// `tm.run(...)` — the server's retry closure (crates/server only).
+    RetryClosure,
+}
+
+/// A handler region: the token-index range of a registration call's
+/// argument list, `( ... )` inclusive.
+#[derive(Debug, Clone)]
+pub struct HandlerRegion {
+    pub kind: HandlerKind,
+    /// Token index of the registration method's name.
+    pub name_idx: usize,
+    /// `[open_paren, close_paren]` token-index range.
+    pub range: (usize, usize),
+}
+
+/// One `// txboost-lint: allow(<rule>)[: reason]` suppression.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: String,
+    pub reason: Option<String>,
+    /// Line the comment is on.
+    pub line: u32,
+    /// Line the suppression applies to (the comment's own line if it
+    /// trails code, else the next line holding code).
+    pub target_line: u32,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    pub functions: Vec<Function>,
+    pub handlers: Vec<HandlerRegion>,
+    pub suppressions: Vec<Suppression>,
+    /// Token-index ranges covered by `#[cfg(test)]` items.
+    test_ranges: Vec<(usize, usize)>,
+    /// Lines that carry at least one code token.
+    code_lines: BTreeSet<u32>,
+}
+
+impl FileAnalysis {
+    /// Lex and analyze `text`, labelling diagnostics with `path`.
+    pub fn build(path: &str, text: &str) -> FileAnalysis {
+        let (tokens, comments) = lex(text);
+        let test_ranges = find_test_ranges(&tokens);
+        let mut fa = FileAnalysis {
+            path: path.replace('\\', "/"),
+            code_lines: tokens.iter().map(|t| t.line).collect(),
+            functions: Vec::new(),
+            handlers: Vec::new(),
+            suppressions: Vec::new(),
+            test_ranges,
+            tokens,
+            comments,
+        };
+        fa.functions = fa.find_functions();
+        fa.handlers = fa.find_handlers();
+        fa.suppressions = fa.find_suppressions();
+        fa
+    }
+
+    /// Whether the file as a whole is test code (an integration test,
+    /// bench, or fuzz target rather than library source).
+    pub fn is_test_file(&self) -> bool {
+        let p = &self.path;
+        p.starts_with("tests/") || p.contains("/tests/") || p.starts_with("benches/")
+    }
+
+    /// Token at `i`, if in range.
+    pub fn tok(&self, i: usize) -> Option<&Token> {
+        self.tokens.get(i)
+    }
+
+    /// Whether token `i` is the identifier `s`.
+    pub fn is_ident(&self, i: usize, s: &str) -> bool {
+        matches!(self.tokens.get(i), Some(t) if t.kind == TokKind::Ident && t.text == s)
+    }
+
+    /// Whether token `i` is the punctuation `s`.
+    pub fn is_punct(&self, i: usize, s: &str) -> bool {
+        matches!(self.tokens.get(i), Some(t) if t.kind == TokKind::Punct && t.text == s)
+    }
+
+    /// Whether token index `i` falls inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| i >= a && i <= b)
+    }
+
+    /// Whether token index `i` falls inside any handler region.
+    pub fn in_handler(&self, i: usize) -> bool {
+        self.handlers
+            .iter()
+            .any(|h| i >= h.range.0 && i <= h.range.1)
+    }
+
+    /// The token index of the `)`/`}`/`]` matching the opener at `open`.
+    /// Falls back to the last token on unbalanced input.
+    pub fn matching(&self, open: usize) -> usize {
+        let (o, c) = match self.tokens[open].text.as_str() {
+            "(" => ("(", ")"),
+            "{" => ("{", "}"),
+            "[" => ("[", "]"),
+            _ => return open,
+        };
+        let mut depth = 0usize;
+        for i in open..self.tokens.len() {
+            let t = &self.tokens[i];
+            if t.kind == TokKind::Punct {
+                if t.text == o {
+                    depth += 1;
+                } else if t.text == c {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+            }
+        }
+        self.tokens.len().saturating_sub(1)
+    }
+
+    fn find_functions(&self) -> Vec<Function> {
+        let mut out = Vec::new();
+        let n = self.tokens.len();
+        let mut i = 0;
+        while i < n {
+            if self.is_ident(i, "fn") {
+                let name = match self.tokens.get(i + 1) {
+                    Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                // The body opens at the first `{` after the signature;
+                // a `;` first means a bodyless declaration. Neither can
+                // occur inside the signature's parens/brackets, so skip
+                // balanced groups on the way.
+                let mut j = i + 2;
+                let mut body = None;
+                let mut sig_end = n.saturating_sub(1);
+                while j < n {
+                    let t = &self.tokens[j];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" => {
+                                j = self.matching(j);
+                            }
+                            "{" => {
+                                sig_end = j;
+                                body = Some((j, self.matching(j)));
+                                break;
+                            }
+                            ";" => {
+                                sig_end = j;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                out.push(Function {
+                    name,
+                    sig: (i, sig_end),
+                    body,
+                    line: self.tokens[i].line,
+                    in_test: self.in_test(i),
+                });
+                // Continue *inside* the signature/body so nested fns
+                // are found too.
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn find_handlers(&self) -> Vec<HandlerRegion> {
+        let mut out = Vec::new();
+        let in_server = self.path.contains("crates/server/");
+        for i in 0..self.tokens.len() {
+            let t = &self.tokens[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let kind = match t.text.as_str() {
+                "log_undo" => HandlerKind::Undo,
+                "defer_on_commit" => HandlerKind::DeferCommit,
+                "defer_on_abort" => HandlerKind::DeferAbort,
+                "run" if in_server => HandlerKind::RetryClosure,
+                _ => continue,
+            };
+            // Must be a method call: `.name(` — this skips the
+            // definitions themselves (`fn log_undo(...)`).
+            if i == 0 || !self.is_punct(i - 1, ".") || !self.is_punct(i + 1, "(") {
+                continue;
+            }
+            let close = self.matching(i + 1);
+            out.push(HandlerRegion {
+                kind,
+                name_idx: i,
+                range: (i + 1, close),
+            });
+        }
+        out
+    }
+
+    fn find_suppressions(&self) -> Vec<Suppression> {
+        let mut out = Vec::new();
+        for c in &self.comments {
+            let text = c.text.trim_start_matches(['/', '!']).trim();
+            let Some(rest) = text.strip_prefix("txboost-lint:") else {
+                continue;
+            };
+            let rest = rest.trim();
+            let Some(rest) = rest.strip_prefix("allow(") else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rule = rest[..close].trim().to_string();
+            let tail = rest[close + 1..].trim();
+            let reason = tail
+                .strip_prefix(':')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty());
+            let target_line = if self.code_lines.contains(&c.line) {
+                c.line
+            } else {
+                self.code_lines
+                    .range((c.line + 1)..)
+                    .next()
+                    .copied()
+                    .unwrap_or(c.line)
+            };
+            out.push(Suppression {
+                rule,
+                reason,
+                line: c.line,
+                target_line,
+            });
+        }
+        out
+    }
+}
+
+/// Token-index ranges of items annotated `#[cfg(test)]`.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let text = |i: usize| tokens.get(i).map(|t: &Token| t.text.as_str());
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = text(i) == Some("#")
+            && text(i + 1) == Some("[")
+            && text(i + 2) == Some("cfg")
+            && text(i + 3) == Some("(")
+            && text(i + 4) == Some("test")
+            && text(i + 5) == Some(")")
+            && text(i + 6) == Some("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // The annotated item runs from the attribute to the matching
+        // `}` of its first brace (mod/fn/impl body) or a `;`.
+        let mut j = i + 7;
+        let mut end = tokens.len().saturating_sub(1);
+        while j < tokens.len() {
+            match text(j) {
+                Some("{") => {
+                    let mut depth = 0usize;
+                    while j < tokens.len() {
+                        match text(j) {
+                            Some("{") => depth += 1,
+                            Some("}") => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    end = j;
+                    break;
+                }
+                Some(";") => {
+                    end = j;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        out.push((i, end));
+        i = end + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r"
+pub struct S { base: u32 }
+impl S {
+    pub fn add(&self, txn: &Txn, k: u64) -> TxResult<()> {
+        self.lock.lock(txn)?;
+        self.base.add(k);
+        let base = self.base.clone();
+        txn.log_undo(move || { base.remove(&k); });
+        Ok(())
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn t() { let x = [1]; x[0]; }
+}
+";
+
+    #[test]
+    fn functions_and_test_regions() {
+        let fa = FileAnalysis::build("crates/boosted/src/x.rs", SRC);
+        let names: Vec<(&str, bool)> = fa
+            .functions
+            .iter()
+            .map(|f| (f.name.as_str(), f.in_test))
+            .collect();
+        assert_eq!(names, vec![("add", false), ("helper", true), ("t", true)]);
+        assert!(fa.functions[0].body.is_some());
+    }
+
+    #[test]
+    fn handler_regions_cover_the_closure() {
+        let fa = FileAnalysis::build("crates/boosted/src/x.rs", SRC);
+        assert_eq!(fa.handlers.len(), 1);
+        assert_eq!(fa.handlers[0].kind, HandlerKind::Undo);
+        // `remove` is inside the region, `add` is not.
+        let remove_idx = fa
+            .tokens
+            .iter()
+            .position(|t| t.text == "remove")
+            .expect("remove token");
+        let add_idx = fa.tokens.iter().position(|t| t.text == "add").unwrap();
+        assert!(fa.in_handler(remove_idx));
+        assert!(!fa.in_handler(add_idx));
+    }
+
+    #[test]
+    fn run_closures_only_count_in_server_paths() {
+        let src = "fn f(&self) { self.tm.run(|t| { x.unwrap(); }); }";
+        let server = FileAnalysis::build("crates/server/src/exec.rs", src);
+        assert_eq!(server.handlers.len(), 1);
+        assert_eq!(server.handlers[0].kind, HandlerKind::RetryClosure);
+        let other = FileAnalysis::build("crates/boosted/src/x.rs", src);
+        assert!(other.handlers.is_empty());
+    }
+
+    #[test]
+    fn suppressions_with_and_without_reasons() {
+        let src = "\
+fn f() {
+    // txboost-lint: allow(unsafe-inventory): FFI contract documented at the extern block
+    unsafe { g() };
+    // txboost-lint: allow(inverse-pairing)
+    h();
+}";
+        let fa = FileAnalysis::build("crates/x/src/a.rs", src);
+        assert_eq!(fa.suppressions.len(), 2);
+        assert_eq!(fa.suppressions[0].rule, "unsafe-inventory");
+        assert!(fa.suppressions[0].reason.is_some());
+        assert_eq!(fa.suppressions[0].target_line, 3);
+        assert_eq!(fa.suppressions[1].rule, "inverse-pairing");
+        assert!(fa.suppressions[1].reason.is_none());
+        assert_eq!(fa.suppressions[1].target_line, 5);
+    }
+}

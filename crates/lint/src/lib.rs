@@ -1,0 +1,27 @@
+//! `txboost-lint` — a static analyzer for the transactional-boosting
+//! discipline (Herlihy & Koskinen, PPoPP 2008, §3–5).
+//!
+//! Boosting is correct only if every boosted method follows rules the
+//! compiler cannot check: acquire the abstract lock *before* the base
+//! call, log the inverse *after* it succeeds, hold every lock two-phase
+//! until commit/abort, and never panic inside an abort/commit handler.
+//! This crate turns those conventions into machine-checked rules with
+//! rustc-style diagnostics, an `// txboost-lint: allow(<rule>): reason`
+//! suppression mechanism, and a machine-readable `unsafe_inventory.json`.
+//!
+//! Run it over the workspace:
+//!
+//! ```text
+//! cargo run -p txboost-lint -- --workspace --deny-all
+//! ```
+//!
+//! The rule table lives in [`rules::RULES`]; DESIGN.md §10 documents
+//! each rule's paper justification and the suppression policy.
+
+pub mod analysis;
+pub mod engine;
+pub mod rules;
+pub mod source;
+
+pub use engine::{lint_source, lint_tree, Diagnostic, Report, UnsafeSite};
+pub use rules::{RULES, SUPPRESSION_MISSING_REASON};

@@ -1,0 +1,158 @@
+//! CLI for the boosting-discipline analyzer.
+//!
+//! ```text
+//! txboost-lint --workspace [--deny-all] [--inventory PATH] [--quiet]
+//! txboost-lint --path DIR
+//! txboost-lint --list-rules
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use txboost_lint::{lint_tree, Report, RULES};
+
+struct Args {
+    workspace: bool,
+    path: Option<PathBuf>,
+    deny_all: bool,
+    inventory: Option<PathBuf>,
+    list_rules: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        path: None,
+        deny_all: false,
+        inventory: None,
+        list_rules: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--path" => {
+                let p = it.next().ok_or("--path requires a directory argument")?;
+                args.path = Some(PathBuf::from(p));
+            }
+            "--deny-all" => args.deny_all = true,
+            "--inventory" => {
+                let p = it.next().ok_or("--inventory requires a file argument")?;
+                args.inventory = Some(PathBuf::from(p));
+            }
+            "--list-rules" => args.list_rules = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "txboost-lint: boosting-discipline static analyzer\n\n\
+                     USAGE:\n  txboost-lint --workspace [--deny-all] [--inventory PATH] [--quiet]\n  \
+                     txboost-lint --path DIR [--deny-all]\n  txboost-lint --list-rules\n\n\
+                     FLAGS:\n  --workspace       lint the enclosing cargo workspace\n  \
+                     --path DIR        lint a directory tree instead\n  \
+                     --deny-all        exit non-zero on any unsuppressed finding\n  \
+                     --inventory PATH  where to write unsafe_inventory.json\n  \
+                     --list-rules      print the rule table and exit\n  \
+                     --quiet           only print the summary line"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if !args.workspace && args.path.is_none() && !args.list_rules {
+        return Err("pass --workspace, --path DIR, or --list-rules".to_string());
+    }
+    Ok(args)
+}
+
+/// Ascend from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn list_rules() {
+    println!("txboost-lint rules ({}):\n", RULES.len());
+    for r in RULES {
+        println!("  {:<24} {}", r.name, r.summary);
+        println!("  {:<24} paper: {}\n", "", r.paper);
+    }
+    println!(
+        "  {:<24} every `// txboost-lint: allow(<rule>)` must carry `: <reason>`",
+        txboost_lint::SUPPRESSION_MISSING_REASON
+    );
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        list_rules();
+        return Ok(ExitCode::SUCCESS);
+    }
+    let root = match &args.path {
+        Some(p) => p.clone(),
+        None => find_workspace_root()
+            .ok_or("no enclosing cargo workspace found (run from inside the repo)")?,
+    };
+    let report: Report =
+        lint_tree(&root).map_err(|e| format!("failed to lint {}: {e}", root.display()))?;
+
+    if !args.quiet {
+        for d in report.unsuppressed() {
+            println!("{}\n", d.render());
+        }
+    }
+    // The inventory is written for workspace runs (CI uploads it) or
+    // wherever --inventory points.
+    let inv_path = args
+        .inventory
+        .clone()
+        .or_else(|| args.workspace.then(|| root.join("unsafe_inventory.json")));
+    if let Some(p) = &inv_path {
+        std::fs::write(p, report.inventory_json())
+            .map_err(|e| format!("failed to write {}: {e}", p.display()))?;
+    }
+
+    let unsuppressed = report.unsuppressed().count();
+    let suppressed = report.suppressed().count();
+    println!(
+        "txboost-lint: {} file(s), {} rule(s): {} finding(s), {} suppressed, {} unsafe site(s) inventoried{}",
+        report.files,
+        RULES.len(),
+        unsuppressed,
+        suppressed,
+        report.inventory.len(),
+        inv_path
+            .as_deref()
+            .map(|p: &Path| format!(" -> {}", p.display()))
+            .unwrap_or_default()
+    );
+    if args.deny_all && unsuppressed > 0 {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("txboost-lint: error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

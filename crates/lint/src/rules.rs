@@ -1,0 +1,592 @@
+//! The declarative rule table and the six boosting-discipline checks.
+//!
+//! Each rule is a row in [`RULES`]: a name (used in diagnostics and in
+//! `// txboost-lint: allow(<name>)` suppressions), a one-line summary,
+//! the paper section that justifies it, a path filter, and a check
+//! function over one file's [`FileAnalysis`]. The engine owns
+//! traversal, suppression matching and rendering — adding a rule means
+//! adding a row here, nothing else.
+//!
+//! Conventions the rules lean on (documented in DESIGN.md §10):
+//! boosted objects keep their `txboost-linearizable` base object in a
+//! field named `base`, and transactional methods take a `&Txn`
+//! parameter. Code under `#[cfg(test)]` and integration-test files are
+//! exempt from the discipline rules (tests may panic); the unsafe
+//! inventory covers them regardless.
+
+use crate::analysis::{FileAnalysis, Function, HandlerKind};
+use crate::engine::{Diagnostic, RuleOutput, UnsafeSite};
+use crate::source::TokKind;
+
+/// One row of the rule table.
+pub struct Rule {
+    /// Stable rule name (kebab-case), used in diagnostics/suppressions.
+    pub name: &'static str,
+    /// One-line human summary for `--list-rules`.
+    pub summary: &'static str,
+    /// The paper section (Herlihy & Koskinen, PPoPP 2008) or policy the
+    /// rule enforces.
+    pub paper: &'static str,
+    /// Whether the rule examines the file at `path` at all.
+    pub applies: fn(path: &str) -> bool,
+    /// The check itself.
+    pub run: fn(&FileAnalysis, &mut RuleOutput),
+}
+
+/// Engine-level check name for suppressions lacking a written reason.
+/// Not a table row — it guards the suppression mechanism itself, so it
+/// cannot be suppressed away.
+pub const SUPPRESSION_MISSING_REASON: &str = "suppression-missing-reason";
+
+/// The rule table.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "lock-before-mutate",
+        summary: "base-object calls in boosted methods must follow an abstract-lock acquisition",
+        paper: "§3 Rule 2: acquire the locks associated with a method's invocation before calling it",
+        applies: is_boosted_src,
+        run: lock_before_mutate,
+    },
+    Rule {
+        name: "inverse-pairing",
+        summary: "every mutating base call must be followed by exactly one undo/deferred registration; forward-order pushes are flagged",
+        paper: "§3 Rule 3: log the inverse after the call succeeds, replay in reverse order on abort",
+        applies: is_boosted_src,
+        run: inverse_pairing,
+    },
+    Rule {
+        name: "two-phase-discipline",
+        summary: "no explicit lock release or guard drop before commit/abort",
+        paper: "§3 Rule 2 (strict two-phase locking): locks are released only at commit or abort",
+        applies: is_boosted_src,
+        run: two_phase_discipline,
+    },
+    Rule {
+        name: "handler-panic-audit",
+        summary: "no unwrap/expect/panic!/indexing inside undo, deferred-action, or server retry closures",
+        paper: "§4: commit/abort handlers run inside the transaction runtime; a panic there poisons recovery",
+        applies: |_| true,
+        run: handler_panic_audit,
+    },
+    Rule {
+        name: "unsafe-inventory",
+        summary: "every unsafe block/fn/impl must carry a // SAFETY: comment (or a # Safety doc section)",
+        paper: "workspace policy: boosting's correctness argument assumes the base objects' memory safety",
+        applies: |_| true,
+        run: unsafe_inventory,
+    },
+    Rule {
+        name: "yield-point-coverage",
+        summary: "interleaving-relevant sites must carry det::yield_point hooks for the deterministic harness",
+        paper: "§5 verification: the PR-2 schedule explorer only covers sites that yield to it",
+        applies: |p| YIELD_SITES.iter().any(|(suffix, _, _)| p.ends_with(suffix)),
+        run: yield_point_coverage,
+    },
+];
+
+fn is_boosted_src(path: &str) -> bool {
+    path.contains("crates/boosted/src/")
+}
+
+/// Base-object methods that read without mutating the abstract state —
+/// these need no inverse.
+const BASE_READ_METHODS: &[&str] = &[
+    "contains",
+    "contains_key",
+    "get",
+    "sum",
+    "len",
+    "is_empty",
+    "snapshot",
+    "min",
+    "peek",
+    "capacity",
+    "to_sorted_vec",
+    "check_invariants",
+    "available",
+    "iter",
+    "clone",
+];
+
+/// Method names that acquire an abstract lock (AbstractLock,
+/// KeyLockMap, TxMutex, TxRwLock, TSemaphore disciplines).
+const ACQUIRE_METHODS: &[&str] = &["lock", "read_lock", "write_lock", "acquire", "try_acquire"];
+
+/// Sites the deterministic harness must be able to preempt:
+/// (path suffix, function name, required identifiers in the body).
+/// `yield_point` is implied for every `Point::*` marker; `block_tick`
+/// is required where a blocking wait must become a scheduling round.
+const YIELD_SITES: &[(&str, &str, &[&str])] = &[
+    ("crates/core/src/txn.rs", "log_undo", &["UndoPush"]),
+    ("crates/core/src/txn.rs", "release_locks", &["LockRelease"]),
+    ("crates/core/src/txn.rs", "commit", &["Commit"]),
+    ("crates/core/src/txn.rs", "abort", &["Abort"]),
+    ("crates/core/src/backoff.rs", "backoff", &["Backoff"]),
+    (
+        "crates/core/src/locks/abstract_lock.rs",
+        "try_acquire_raw_det",
+        &["LockAcquire", "block_tick"],
+    ),
+    (
+        "crates/core/src/locks/rwlock.rs",
+        "read_lock_det",
+        &["LockAcquire", "block_tick"],
+    ),
+    (
+        "crates/core/src/locks/rwlock.rs",
+        "write_lock_det",
+        &["LockAcquire", "block_tick"],
+    ),
+    (
+        "crates/core/src/locks/keymap.rs",
+        "cleanup_after_timeout",
+        &["LockCleanup"],
+    ),
+    ("crates/rwstm/src/stm.rs", "read", &["StmRead"]),
+    (
+        "crates/rwstm/src/stm.rs",
+        "try_commit",
+        &["StmWrite", "StmValidate"],
+    ),
+    (
+        "crates/boosted/src/semaphore.rs",
+        "acquire_det",
+        &["LockAcquire", "block_tick"],
+    ),
+];
+
+/// Functions subject to the boosted-method rules: real (non-test)
+/// bodies whose signature mentions `Txn`.
+fn txn_methods(fa: &FileAnalysis) -> impl Iterator<Item = (&Function, (usize, usize))> {
+    fa.functions.iter().filter_map(move |f| {
+        let body = f.body?;
+        if f.in_test || fa.is_test_file() {
+            return None;
+        }
+        let mentions_txn = (f.sig.0..f.sig.1).any(|i| fa.is_ident(i, "Txn"));
+        mentions_txn.then_some((f, body))
+    })
+}
+
+/// Whether token `i` is a `self.base.<method>(` call; returns the
+/// method-name token index.
+fn base_call(fa: &FileAnalysis, i: usize) -> Option<usize> {
+    (fa.is_ident(i, "self")
+        && fa.is_punct(i + 1, ".")
+        && fa.is_ident(i + 2, "base")
+        && fa.is_punct(i + 3, ".")
+        && matches!(fa.tok(i + 4), Some(t) if t.kind == TokKind::Ident)
+        && fa.is_punct(i + 5, "("))
+    .then_some(i + 4)
+}
+
+/// Whether token `i` is a method call `.name(` with `name` in `names`.
+fn method_call(fa: &FileAnalysis, i: usize, names: &[&str]) -> bool {
+    i > 0
+        && fa.is_punct(i - 1, ".")
+        && fa.is_punct(i + 1, "(")
+        && matches!(fa.tok(i), Some(t) if t.kind == TokKind::Ident && names.contains(&t.text.as_str()))
+}
+
+fn diag(out: &mut RuleOutput, fa: &FileAnalysis, rule: &'static str, i: usize, message: String) {
+    let t = &fa.tokens[i];
+    out.diags.push(Diagnostic {
+        rule,
+        path: fa.path.clone(),
+        line: t.line,
+        col: t.col,
+        message,
+        suppressed: None,
+    });
+}
+
+// ---------------------------------------------------------------- rules
+
+/// Rule 2 of the methodology: in a boosted method, the abstract lock
+/// must be acquired before the base object is touched.
+fn lock_before_mutate(fa: &FileAnalysis, out: &mut RuleOutput) {
+    for (_f, (b0, b1)) in txn_methods(fa) {
+        let mut lock_held = false;
+        for i in b0..=b1 {
+            if fa.in_handler(i) {
+                // Inverses run post-abort, when the abstract lock is
+                // still held by the runtime — they are exempt.
+                continue;
+            }
+            if method_call(fa, i, ACQUIRE_METHODS) {
+                lock_held = true;
+            }
+            if let Some(m) = base_call(fa, i) {
+                if !lock_held {
+                    let name = fa.tokens[m].text.clone();
+                    diag(
+                        out,
+                        fa,
+                        "lock-before-mutate",
+                        m,
+                        format!(
+                            "call `self.base.{name}(..)` is not dominated by an abstract-lock \
+                             acquisition in this method"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rule 3: every mutating base call on the success path must be
+/// followed by exactly one undo/deferred registration; an undo pushed
+/// *before* its base call is flagged as a forward-order push.
+fn inverse_pairing(fa: &FileAnalysis, out: &mut RuleOutput) {
+    for (_f, (b0, b1)) in txn_methods(fa) {
+        let mut mutators: Vec<usize> = Vec::new(); // method-name token idx
+        let mut regs: Vec<(usize, HandlerKind)> = Vec::new(); // name_idx
+        for i in b0..=b1 {
+            if !fa.in_handler(i) {
+                if let Some(m) = base_call(fa, i) {
+                    let name = fa.tokens[m].text.as_str();
+                    if !BASE_READ_METHODS.contains(&name) {
+                        mutators.push(m);
+                    }
+                }
+            }
+        }
+        for h in &fa.handlers {
+            if h.name_idx >= b0 && h.name_idx <= b1 && h.kind != HandlerKind::RetryClosure {
+                regs.push((h.name_idx, h.kind));
+            }
+        }
+        regs.sort_unstable_by_key(|r| r.0);
+
+        // Pair each mutator (in order) with the first registration
+        // occurring after it.
+        let mut ri = 0usize;
+        for &m in &mutators {
+            while ri < regs.len() && regs[ri].0 < m {
+                ri += 1;
+            }
+            if ri < regs.len() {
+                ri += 1; // consumed
+            } else {
+                let name = fa.tokens[m].text.clone();
+                diag(
+                    out,
+                    fa,
+                    "inverse-pairing",
+                    m,
+                    format!(
+                        "mutating base call `self.base.{name}(..)` has no following \
+                         undo/deferred-action registration on its success path"
+                    ),
+                );
+            }
+        }
+        // Forward-order pushes: an undo logged before any base mutation
+        // has happened, with a mutator still to come.
+        for &(r, kind) in &regs {
+            if kind != HandlerKind::Undo {
+                continue; // deferred disposables legally precede nothing
+            }
+            let any_before = mutators.iter().any(|&m| m < r);
+            let any_after = mutators.iter().any(|&m| m > r);
+            if !any_before && any_after {
+                diag(
+                    out,
+                    fa,
+                    "inverse-pairing",
+                    r,
+                    "undo logged before the base call it inverts (forward-order push): \
+                     if the call never happens, abort replays a spurious inverse"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Strict two-phase locking: a boosted method must not release a lock
+/// (or drop a guard) on its own — release happens at commit/abort.
+fn two_phase_discipline(fa: &FileAnalysis, out: &mut RuleOutput) {
+    for (_f, (b0, b1)) in txn_methods(fa) {
+        for i in b0..=b1 {
+            if fa.in_handler(i) {
+                continue;
+            }
+            // drop(<ident mentioning lock/guard>)
+            if fa.is_ident(i, "drop") && fa.is_punct(i + 1, "(") {
+                if let Some(arg) = fa.tok(i + 2) {
+                    let lower = arg.text.to_lowercase();
+                    if arg.kind == TokKind::Ident
+                        && (lower.contains("lock") || lower.contains("guard"))
+                        && fa.is_punct(i + 3, ")")
+                    {
+                        diag(
+                            out,
+                            fa,
+                            "two-phase-discipline",
+                            i,
+                            format!(
+                                "`drop({})` releases a lock before commit/abort — abstract \
+                                 locks are strict two-phase",
+                                arg.text
+                            ),
+                        );
+                    }
+                }
+            }
+            // .unlock* calls
+            if i > 0
+                && fa.is_punct(i - 1, ".")
+                && matches!(fa.tok(i), Some(t) if t.kind == TokKind::Ident && t.text.starts_with("unlock"))
+            {
+                diag(
+                    out,
+                    fa,
+                    "two-phase-discipline",
+                    i,
+                    format!(
+                        "`.{}()` before commit/abort breaks strict two-phase locking",
+                        fa.tokens[i].text
+                    ),
+                );
+            }
+            // <something-lock>.release(..)
+            if method_call(fa, i, &["release"]) && i >= 2 {
+                if let Some(recv) = fa.tok(i - 2) {
+                    if recv.kind == TokKind::Ident && recv.text.to_lowercase().contains("lock") {
+                        diag(
+                            out,
+                            fa,
+                            "two-phase-discipline",
+                            i,
+                            format!(
+                                "`{}.release(..)` before commit/abort breaks strict two-phase \
+                                 locking",
+                                recv.text
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Panic sources forbidden inside handlers. `debug_assert!` family is
+/// allowed: it vanishes in release builds, where handlers actually run
+/// under load.
+fn handler_panic_audit(fa: &FileAnalysis, out: &mut RuleOutput) {
+    const PANIC_MACROS: &[&str] = &[
+        "panic",
+        "unreachable",
+        "todo",
+        "unimplemented",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+    ];
+    for h in &fa.handlers {
+        if fa.in_test(h.name_idx) || fa.is_test_file() {
+            continue;
+        }
+        let what = match h.kind {
+            HandlerKind::Undo => "undo (abort-replay) closure",
+            HandlerKind::DeferCommit => "deferred commit action",
+            HandlerKind::DeferAbort => "deferred abort action",
+            HandlerKind::RetryClosure => "transaction retry closure",
+        };
+        for i in h.range.0..=h.range.1 {
+            if method_call(fa, i, &["unwrap", "expect"]) {
+                diag(
+                    out,
+                    fa,
+                    "handler-panic-audit",
+                    i,
+                    format!("`.{}()` may panic inside a {what}", fa.tokens[i].text),
+                );
+            }
+            if fa.is_punct(i + 1, "!")
+                && matches!(fa.tok(i), Some(t) if t.kind == TokKind::Ident
+                    && PANIC_MACROS.contains(&t.text.as_str()))
+            {
+                diag(
+                    out,
+                    fa,
+                    "handler-panic-audit",
+                    i,
+                    format!(
+                        "`{}!` may panic inside a {what} (debug_assert! is the release-safe \
+                         alternative)",
+                        fa.tokens[i].text
+                    ),
+                );
+            }
+            // Postfix indexing `expr[...]`: `[` directly after an
+            // identifier, `)` or `]`.
+            if fa.is_punct(i, "[") && i > 0 {
+                let prev = &fa.tokens[i - 1];
+                let is_postfix = prev.kind == TokKind::Ident
+                    || (prev.kind == TokKind::Punct && (prev.text == ")" || prev.text == "]"));
+                // Identifier followed by `[` can still be a type or a
+                // macro pattern; those don't appear in handler bodies.
+                if is_postfix {
+                    diag(
+                        out,
+                        fa,
+                        "handler-panic-audit",
+                        i,
+                        format!("indexing may panic inside a {what}; use `.get(..)`"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Every `unsafe` site needs a written safety argument: a `// SAFETY:`
+/// comment immediately above (attributes and doc lines may intervene),
+/// a trailing `// SAFETY:` on the same line, or — for `unsafe fn` — a
+/// `# Safety` section in its doc comment.
+fn unsafe_inventory(fa: &FileAnalysis, out: &mut RuleOutput) {
+    for i in 0..fa.tokens.len() {
+        if !fa.is_ident(i, "unsafe") {
+            continue;
+        }
+        let kind = match fa.tok(i + 1) {
+            Some(t) if t.text == "{" => "block",
+            Some(t) if t.text == "fn" => "fn",
+            Some(t) if t.text == "impl" => "impl",
+            Some(t) if t.text == "extern" => "extern",
+            Some(t) if t.text == "trait" => "trait",
+            // `pub unsafe fn` keywords already consumed `unsafe` last;
+            // anything else (e.g. `unsafe` in a trait bound) is skipped.
+            _ => continue,
+        };
+        let line = fa.tokens[i].line;
+        let justification = find_safety_comment(fa, line, kind == "fn");
+        out.inventory.push(UnsafeSite {
+            path: fa.path.clone(),
+            line,
+            kind: kind.to_string(),
+            justification: justification.clone().unwrap_or_default(),
+        });
+        if justification.is_none() {
+            diag(
+                out,
+                fa,
+                "unsafe-inventory",
+                i,
+                format!("`unsafe` {kind} without a `// SAFETY:` comment"),
+            );
+        }
+    }
+}
+
+/// Search for the safety argument attached to an unsafe site at `line`.
+fn find_safety_comment(fa: &FileAnalysis, line: u32, accept_safety_doc: bool) -> Option<String> {
+    let safety_text = |t: &str| -> Option<String> {
+        let trimmed = t.trim_start_matches(['/', '!']).trim();
+        trimmed
+            .strip_prefix("SAFETY:")
+            .map(|r| r.trim().to_string())
+    };
+    // Trailing comment on the same line.
+    for c in &fa.comments {
+        if c.line == line {
+            if let Some(s) = safety_text(&c.text) {
+                return Some(s);
+            }
+        }
+    }
+    // Walk upward over comment/attribute lines.
+    let first_code_col: std::collections::HashMap<u32, &str> = fa
+        .tokens
+        .iter()
+        .rev()
+        .map(|t| (t.line, t.text.as_str()))
+        .collect(); // rev() so the *first* token on each line wins
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let code_starts = first_code_col.get(&l).copied();
+        let comment_here = fa.comments.iter().find(|c| c.line == l);
+        match (code_starts, comment_here) {
+            // Attribute line (`#[...]`): keep walking.
+            (Some("#"), _) => {}
+            // Pure comment line: check it.
+            (None, Some(c)) => {
+                if let Some(s) = safety_text(&c.text) {
+                    return Some(s);
+                }
+                let doc = c.text.starts_with('/') || c.text.starts_with('!');
+                if accept_safety_doc && doc && c.text.contains("# Safety") {
+                    return Some("documented # Safety contract".to_string());
+                }
+            }
+            // Blank line or code line: stop. (A blank line detaches the
+            // comment block; tighten rather than guess.)
+            _ => break,
+        }
+    }
+    None
+}
+
+/// The deterministic harness (PR 2) can only explore interleavings at
+/// sites that yield to it; this keeps the site inventory honest.
+fn yield_point_coverage(fa: &FileAnalysis, out: &mut RuleOutput) {
+    for (suffix, fn_name, markers) in YIELD_SITES {
+        if !fa.path.ends_with(suffix) {
+            continue;
+        }
+        let candidates: Vec<&Function> = fa
+            .functions
+            .iter()
+            .filter(|f| !f.in_test && f.name == *fn_name && f.body.is_some())
+            .collect();
+        if candidates.is_empty() {
+            out.diags.push(Diagnostic {
+                rule: "yield-point-coverage",
+                path: fa.path.clone(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "expected function `{fn_name}` (a registered yield-point site) was not found"
+                ),
+                suppressed: None,
+            });
+            continue;
+        }
+        let satisfied = candidates.iter().any(|f| {
+            let (b0, b1) = f.body.unwrap_or((0, 0));
+            markers.iter().all(|m| {
+                (b0..=b1).any(|i| fa.is_ident(i, m))
+                    && (*m == "block_tick" || (b0..=b1).any(|i| fa.is_ident(i, "yield_point")))
+            })
+        });
+        if !satisfied {
+            let f = candidates[0];
+            out.diags.push(Diagnostic {
+                rule: "yield-point-coverage",
+                path: fa.path.clone(),
+                line: f.line,
+                col: 1,
+                message: format!(
+                    "`{fn_name}` is missing its deterministic hook(s): expected {}",
+                    markers
+                        .iter()
+                        .map(|m| {
+                            if *m == "block_tick" {
+                                "det::block_tick()".to_string()
+                            } else {
+                                format!("det::yield_point(Point::{m})")
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! A fixture boosted object that follows every discipline rule: lock
+//! before the base call, inverse logged after it, locks held two-phase,
+//! handlers that cannot panic in release builds.
+
+use std::sync::Arc;
+
+pub struct GoodSet {
+    base: Arc<BaseSet>,
+    lock: TxMutex,
+}
+
+impl GoodSet {
+    /// Rule 2 then Rule 3: acquire, call, log the inverse.
+    pub fn add(&self, txn: &Txn, key: u64) -> TxResult<bool> {
+        self.lock.lock(txn)?;
+        let result = self.base.add(key);
+        if result {
+            let base = Arc::clone(&self.base);
+            txn.log_undo(move || {
+                // Evaluate the inverse unconditionally; only the check
+                // itself compiles out in release builds.
+                let removed = base.remove(&key);
+                debug_assert!(removed, "inverse remove found nothing");
+            });
+        }
+        Ok(result)
+    }
+
+    /// Read-only base calls need no inverse.
+    pub fn contains(&self, txn: &Txn, key: u64) -> TxResult<bool> {
+        self.lock.lock(txn)?;
+        Ok(self.base.contains(&key))
+    }
+
+    /// A disposable method (Definition 5.5): deferred to commit, no
+    /// lock and no undo needed because nothing observable happens until
+    /// the transaction is beyond aborting.
+    pub fn discard_later(&self, txn: &Txn, key: u64) {
+        let base = Arc::clone(&self.base);
+        txn.defer_on_commit(move || {
+            base.remove(&key);
+        });
+    }
+
+    /// A justified exception, with the mandatory written reason.
+    pub fn purge_residue(&self, txn: &Txn) -> TxResult<()> {
+        self.lock.lock(txn)?;
+        // txboost-lint: allow(inverse-pairing): purging logically-deleted residue leaves the abstract state unchanged, so no inverse is required
+        self.base.remove(&0);
+        Ok(())
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture mirror of the real backoff yield-point site, hook present.
+
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    pub fn backoff(&mut self) {
+        #[cfg(feature = "deterministic")]
+        crate::det::yield_point(crate::det::Point::Backoff);
+        self.step = self.step.saturating_add(1);
+    }
+}

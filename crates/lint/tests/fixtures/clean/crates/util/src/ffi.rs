@@ -1,0 +1,16 @@
+//! Fixture unsafe sites, each carrying a written safety argument.
+
+/// Reads one byte.
+///
+/// # Safety
+/// `p` must be valid for reads of one byte.
+pub unsafe fn read_byte(p: *const u8) -> u8 {
+    // SAFETY: the caller upholds this function's `# Safety` contract.
+    unsafe { *p }
+}
+
+pub fn first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees the slice has a first byte.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,28 @@
+//! Violates handler-panic-audit: unwrap, panic!, and indexing inside
+//! registered undo/deferred handlers.
+
+use std::sync::Arc;
+
+pub struct BadHandler {
+    base: Arc<BaseSet>,
+    lock: TxMutex,
+}
+
+impl BadHandler {
+    pub fn add(&self, txn: &Txn, key: u64) -> TxResult<()> {
+        self.lock.lock(txn)?;
+        self.base.add(key);
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.remove(&key).unwrap();
+        });
+        txn.defer_on_commit(move || {
+            panic!("commit handler exploded");
+        });
+        txn.defer_on_abort(move || {
+            let slots = [0u8; 4];
+            let _ = slots[9];
+        });
+        Ok(())
+    }
+}

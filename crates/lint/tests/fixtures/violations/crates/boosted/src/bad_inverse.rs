@@ -1,0 +1,27 @@
+//! Violates inverse-pairing twice: a mutating call with no undo, and a
+//! forward-order push (undo logged before the call it inverts).
+
+use std::sync::Arc;
+
+pub struct BadInverseBag {
+    base: Arc<BaseBag>,
+    lock: TxMutex,
+}
+
+impl BadInverseBag {
+    pub fn add(&self, txn: &Txn, key: u64) -> TxResult<()> {
+        self.lock.lock(txn)?;
+        self.base.add(key);
+        Ok(())
+    }
+
+    pub fn remove(&self, txn: &Txn, key: u64) -> TxResult<()> {
+        self.lock.lock(txn)?;
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.add(key);
+        });
+        self.base.remove(&key);
+        Ok(())
+    }
+}

@@ -1,0 +1,21 @@
+//! Violates lock-before-mutate: the base call happens with no abstract
+//! lock acquired anywhere in the method.
+
+use std::sync::Arc;
+
+pub struct BadLockSet {
+    base: Arc<BaseSet>,
+}
+
+impl BadLockSet {
+    pub fn add(&self, txn: &Txn, key: u64) -> TxResult<bool> {
+        let result = self.base.add(key);
+        if result {
+            let base = Arc::clone(&self.base);
+            txn.log_undo(move || {
+                base.remove(&key);
+            });
+        }
+        Ok(result)
+    }
+}

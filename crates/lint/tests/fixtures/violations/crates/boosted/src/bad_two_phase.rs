@@ -1,0 +1,29 @@
+//! Violates two-phase discipline: an explicit unlock and a guard drop
+//! before commit/abort.
+
+use std::sync::Arc;
+
+pub struct BadTwoPhase {
+    base: Arc<BaseSet>,
+    lock: TxMutex,
+}
+
+impl BadTwoPhase {
+    pub fn add(&self, txn: &Txn, key: u64) -> TxResult<()> {
+        self.lock.lock(txn)?;
+        self.base.add(key);
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.remove(&key);
+        });
+        self.lock.unlock();
+        Ok(())
+    }
+
+    pub fn peek_fast(&self, txn: &Txn) -> TxResult<bool> {
+        let guard = self.lock.lock(txn)?;
+        let result = self.base.contains(&1);
+        drop(guard);
+        Ok(result)
+    }
+}

@@ -1,0 +1,12 @@
+//! Violates yield-point-coverage: the Backoff hook is absent, so the
+//! deterministic harness can never preempt inside the retry wait.
+
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    pub fn backoff(&mut self) {
+        self.step = self.step.saturating_add(1);
+    }
+}

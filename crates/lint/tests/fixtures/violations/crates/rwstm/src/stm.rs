@@ -1,0 +1,12 @@
+//! Violates yield-point-coverage twice: `read` lacks its StmRead hook
+//! and the registered `try_commit` site is missing entirely.
+
+pub struct StmVar {
+    v: u64,
+}
+
+impl StmVar {
+    pub fn read(&self) -> u64 {
+        self.v
+    }
+}

@@ -1,0 +1,18 @@
+//! Violates handler-panic-audit inside the transaction retry closure:
+//! the closure re-runs on every conflict abort, so a panic there takes
+//! down the connection instead of retrying.
+
+pub struct BadExecutor {
+    hist: Vec<u64>,
+}
+
+impl BadExecutor {
+    pub fn execute(&mut self, ops: &[u64]) -> bool {
+        let outcome = self.tm.run(|txn| {
+            let first = ops[0];
+            self.apply(txn, first).expect("op failed");
+            Ok(())
+        });
+        outcome.is_ok()
+    }
+}

@@ -1,0 +1,112 @@
+//! Mutation tests: take a *clean* fixture, delete exactly the artifact
+//! the discipline requires (a SAFETY comment, an undo push, a yield
+//! hook), and assert the corresponding rule starts firing. This guards
+//! against rules that pass because they match nothing.
+
+use std::path::Path;
+use txboost_lint::lint_source;
+
+fn clean_fixture(rel: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/clean")
+        .join(rel);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Remove whole lines matching `pred`.
+fn strip_lines(src: &str, pred: impl Fn(&str) -> bool) -> String {
+    src.lines()
+        .filter(|l| !pred(l))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn deleting_a_safety_comment_trips_unsafe_inventory() {
+    let rel = "crates/util/src/ffi.rs";
+    let src = clean_fixture(rel);
+    assert_eq!(lint_source(rel, &src).unsuppressed().count(), 0);
+
+    let mutated = strip_lines(&src, |l| l.contains("SAFETY:"));
+    let report = lint_source(rel, &mutated);
+    let fired: Vec<_> = report.unsuppressed().map(|d| d.rule).collect();
+    assert!(
+        fired.contains(&"unsafe-inventory"),
+        "removing SAFETY comments must trip unsafe-inventory, got {fired:?}"
+    );
+}
+
+#[test]
+fn deleting_the_undo_push_trips_inverse_pairing() {
+    let rel = "crates/boosted/src/good_set.rs";
+    let src = clean_fixture(rel);
+    assert_eq!(lint_source(rel, &src).unsuppressed().count(), 0);
+
+    // Cut the whole `txn.log_undo(...)` statement (through its `});`).
+    let lines: Vec<&str> = src.lines().collect();
+    let start = lines
+        .iter()
+        .position(|l| l.contains("log_undo"))
+        .expect("fixture has an undo push");
+    let end = lines[start..]
+        .iter()
+        .position(|l| l.trim() == "});")
+        .map(|off| start + off)
+        .expect("undo closure is brace-terminated");
+    let mutated: String = lines
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i < start || *i > end)
+        .map(|(_, l)| *l)
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let report = lint_source(rel, &mutated);
+    let fired: Vec<_> = report.unsuppressed().map(|d| d.rule).collect();
+    assert!(
+        fired.contains(&"inverse-pairing"),
+        "removing the undo push must trip inverse-pairing, got {fired:?}"
+    );
+}
+
+#[test]
+fn deleting_the_yield_hook_trips_yield_point_coverage() {
+    let rel = "crates/core/src/backoff.rs";
+    let src = clean_fixture(rel);
+    assert_eq!(lint_source(rel, &src).unsuppressed().count(), 0);
+
+    let mutated = strip_lines(&src, |l| {
+        l.contains("yield_point") || l.contains("deterministic")
+    });
+    let report = lint_source(rel, &mutated);
+    let fired: Vec<_> = report.unsuppressed().map(|d| d.rule).collect();
+    assert!(
+        fired.contains(&"yield-point-coverage"),
+        "removing the hook must trip yield-point-coverage, got {fired:?}"
+    );
+}
+
+#[test]
+fn deleting_the_suppression_reason_trips_the_policy_check() {
+    let rel = "crates/boosted/src/good_set.rs";
+    let src = clean_fixture(rel);
+    // Truncate the allow comment at the `)`: reason gone.
+    let mutated: String = src
+        .lines()
+        .map(|l| {
+            if l.contains("txboost-lint: allow(") {
+                let cut = l.find("):").map(|i| i + 1).unwrap_or(l.len());
+                &l[..cut]
+            } else {
+                l
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let report = lint_source(rel, &mutated);
+    let fired: Vec<_> = report.unsuppressed().map(|d| d.rule).collect();
+    assert!(
+        fired.contains(&txboost_lint::SUPPRESSION_MISSING_REASON),
+        "stripping the reason must trip the suppression policy, got {fired:?}"
+    );
+}
