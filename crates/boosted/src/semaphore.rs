@@ -76,6 +76,10 @@ impl TSemaphore {
     /// transaction with [`Abort::would_block`] — the conditional-
     /// synchronization analogue of deadlock recovery.
     pub fn acquire(&self, txn: &Txn) -> TxResult<()> {
+        #[cfg(feature = "deterministic")]
+        if txboost_core::det::active() {
+            return self.acquire_det(txn);
+        }
         let deadline = Instant::now() + txn.lock_timeout();
         let mut count = self.inner.count.lock();
         while *count == 0 {
@@ -88,6 +92,35 @@ impl TSemaphore {
         let inner = Arc::clone(&self.inner);
         txn.log_undo(move || inner.increment());
         Ok(())
+    }
+
+    /// Acquisition loop under a deterministic scheduler: the condvar
+    /// wait becomes a scheduling round and the timeout runs on virtual
+    /// ticks, mirroring `AbstractLock::try_acquire_raw_det`. Every poll
+    /// of the counter is a schedulable event, so the harness can
+    /// explore wake orders between blocked consumers and committing
+    /// producers.
+    #[cfg(feature = "deterministic")]
+    fn acquire_det(&self, txn: &Txn) -> TxResult<()> {
+        use txboost_core::det::{self, Point};
+        let deadline = det::virtual_now() + det::ticks_for(txn.lock_timeout());
+        loop {
+            det::yield_point(Point::LockAcquire);
+            {
+                let mut count = self.inner.count.lock();
+                if *count > 0 {
+                    *count -= 1;
+                    drop(count);
+                    let inner = Arc::clone(&self.inner);
+                    txn.log_undo(move || inner.increment());
+                    return Ok(());
+                }
+            }
+            if det::virtual_now() >= deadline {
+                return Err(Abort::would_block());
+            }
+            det::block_tick();
+        }
     }
 
     /// Transactionally return a permit.
