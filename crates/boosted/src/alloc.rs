@@ -41,7 +41,7 @@ use txboost_linearizable::{ConcurrentSlab, SlabKey};
 /// ```
 #[derive(Debug, Clone)]
 pub struct TxSlabAlloc<T: Send + 'static> {
-    slab: Arc<ConcurrentSlab<T>>,
+    base: Arc<ConcurrentSlab<T>>,
 }
 
 impl<T: Send + Sync + 'static> Default for TxSlabAlloc<T> {
@@ -54,17 +54,18 @@ impl<T: Send + Sync + 'static> TxSlabAlloc<T> {
     /// An empty arena.
     pub fn new() -> Self {
         TxSlabAlloc {
-            slab: Arc::new(ConcurrentSlab::new()),
+            base: Arc::new(ConcurrentSlab::new()),
         }
     }
 
     /// Transactionally allocate a slot holding `value`; returns its
     /// key. If the transaction aborts, the inverse frees the slot.
     pub fn alloc(&self, txn: &Txn, value: T) -> TxResult<SlabKey> {
-        let key = self.slab.insert(value);
-        let slab = Arc::clone(&self.slab);
+        // txboost-lint: allow(lock-before-mutate): alloc needs no abstract lock — allocations returning distinct keys always commute, and nobody else can name the fresh key until this transaction publishes it (module docs; paper Section 2 on malloc/free disposability)
+        let key = self.base.insert(value);
+        let base = Arc::clone(&self.base);
         txn.log_undo(move || {
-            slab.remove(key);
+            base.remove(key);
         });
         Ok(key)
     }
@@ -74,9 +75,9 @@ impl<T: Send + Sync + 'static> TxSlabAlloc<T> {
     /// allocation can reuse storage that might still be kept by an
     /// abort.
     pub fn free(&self, txn: &Txn, key: SlabKey) {
-        let slab = Arc::clone(&self.slab);
+        let base = Arc::clone(&self.base);
         txn.defer_on_commit(move || {
-            slab.remove(key);
+            base.remove(key);
         });
     }
 
@@ -87,7 +88,7 @@ impl<T: Send + Sync + 'static> TxSlabAlloc<T> {
     /// transaction, use [`TxSlabAlloc::free`] instead so an abort can
     /// cancel it.
     pub fn remove_now(&self, key: SlabKey) -> Option<T> {
-        self.slab.remove(key)
+        self.base.remove(key)
     }
 
     /// Read a clone of the value at `key` (non-transactional: the
@@ -97,22 +98,22 @@ impl<T: Send + Sync + 'static> TxSlabAlloc<T> {
     where
         T: Clone,
     {
-        self.slab.get(key)
+        self.base.get(key)
     }
 
     /// Mutate the value at `key` in place (same ownership argument).
     pub fn with_value<R>(&self, key: SlabKey, f: impl FnOnce(&mut T) -> R) -> Option<R> {
-        self.slab.with_value(key, f)
+        self.base.with_value(key, f)
     }
 
     /// Live allocations (diagnostic).
     pub fn len(&self) -> usize {
-        self.slab.len()
+        self.base.len()
     }
 
     /// Whether nothing is allocated.
     pub fn is_empty(&self) -> bool {
-        self.slab.is_empty()
+        self.base.is_empty()
     }
 }
 

@@ -70,7 +70,7 @@ fn random_level() -> usize {
     RNG.with(|c| {
         let mut x = c.get();
         if x == 0 {
-            x = (c as *const _ as u64) | 0x9E37_79B9_7F4A_7C15;
+            x = (std::ptr::from_ref(c) as u64) | 0x9E37_79B9_7F4A_7C15;
         }
         x ^= x << 13;
         x ^= x >> 7;
@@ -100,8 +100,11 @@ impl<K: Ord, V: Clone> Default for LazySkipListMap<K, V> {
 impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
     /// An empty map.
     pub fn new() -> Self {
-        let tail =
-            Owned::new(Node::sentinel(Key::PosInf)).into_shared(unsafe { epoch::unprotected() });
+        // SAFETY: the map is still under construction and visible to no
+        // other thread, so an unpinned (unprotected) guard cannot race
+        // with epoch reclamation.
+        let init_guard = unsafe { epoch::unprotected() };
+        let tail = Owned::new(Node::sentinel(Key::PosInf)).into_shared(init_guard);
         let head = Node::sentinel(Key::NegInf);
         for lvl in 0..MAX_LEVEL {
             head.next[lvl].store(tail, Ordering::Relaxed);
@@ -121,8 +124,14 @@ impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
         let mut found = None;
         let mut pred = self.head.load(Ordering::Acquire, guard);
         for lvl in (0..MAX_LEVEL).rev() {
+            // SAFETY: `pred` is the head sentinel or a node reached from
+            // it under `guard`; unlinked nodes are freed only via
+            // defer_destroy, which cannot run while `guard` is pinned.
             let mut curr = unsafe { pred.deref() }.next[lvl].load(Ordering::Acquire, guard);
             loop {
+                // SAFETY: `curr` was loaded from a live node's tower
+                // under the same pinned `guard`; the PosInf sentinel
+                // bounds the walk, so it is never null.
                 let curr_ref = unsafe { curr.deref() };
                 match curr_ref.key.cmp_key(key) {
                     CmpOrdering::Less => {
@@ -156,9 +165,13 @@ impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
         for lvl in 0..=top {
             let pred = preds[lvl];
             if prev != Some(pred) {
+                // SAFETY: every `preds` entry was produced by `find`
+                // under `guard` (still pinned here via the `'g` bound),
+                // so the node is not yet reclaimed.
                 locks.push(unsafe { pred.deref() }.lock.lock());
                 prev = Some(pred);
             }
+            // SAFETY: as above — same pinned `guard`, same provenance.
             let p = unsafe { pred.deref() };
             if p.marked.load(Ordering::Acquire)
                 || p.next[lvl].load(Ordering::Acquire, guard) != expected(lvl)
@@ -179,6 +192,8 @@ impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
         let mut succs = [Shared::null(); MAX_LEVEL];
         loop {
             if let Some(l_found) = self.find(&key, &mut preds, &mut succs, &guard) {
+                // SAFETY: `find` filled `succs` under `guard`, which is
+                // pinned for the whole loop; the node cannot be freed.
                 let node = unsafe { succs[l_found].deref() };
                 if !node.marked.load(Ordering::Acquire) {
                     while !node.fully_linked.load(Ordering::Acquire) {
@@ -198,9 +213,13 @@ impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
             }
             let locks = Self::lock_and_validate(&preds, |lvl| succs[lvl], top_level, &guard);
             let Some(locks) = locks else { continue };
-            if (0..=top_level)
-                .any(|lvl| unsafe { succs[lvl].deref() }.marked.load(Ordering::Acquire))
-            {
+            let any_succ_marked = (0..=top_level).any(|lvl| {
+                // SAFETY: `succs` was filled by `find` under the still-
+                // pinned `guard`; validation holds the predecessor
+                // locks, so the successors cannot be unlinked either.
+                unsafe { succs[lvl].deref() }.marked.load(Ordering::Acquire)
+            });
+            if any_succ_marked {
                 drop(locks);
                 continue;
             }
@@ -218,8 +237,14 @@ impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
             }
             let node_shared = node.into_shared(&guard);
             for lvl in 0..=top_level {
+                // SAFETY: `preds` entries are pinned by `guard` and
+                // locked+validated above, so each is live and still the
+                // correct predecessor at this level.
                 unsafe { preds[lvl].deref() }.next[lvl].store(node_shared, Ordering::Release);
             }
+            // SAFETY: `node_shared` came from `into_shared` two lines
+            // up; the new node is owned by this thread until
+            // `fully_linked` is published.
             unsafe { node_shared.deref() }
                 .fully_linked
                 .store(true, Ordering::Release);
@@ -241,6 +266,8 @@ impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
             if victim_lock.is_none() {
                 let lf = l_found?;
                 let v = succs[lf];
+                // SAFETY: `find` produced `v` under `guard`, pinned for
+                // the whole call — reclamation is deferred past it.
                 let v_ref = unsafe { v.deref() };
                 if !v_ref.fully_linked.load(Ordering::Acquire)
                     || v_ref.top_level != lf
@@ -260,13 +287,21 @@ impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
             }
             let locks = Self::lock_and_validate(&preds, |_| victim, top_level, &guard);
             let Some(locks) = locks else { continue };
+            // SAFETY: the victim is marked and its lock held by this
+            // thread; only this remover will unlink and reclaim it, and
+            // `guard` keeps it live meanwhile.
             let v_ref = unsafe { victim.deref() };
             for lvl in (0..=top_level).rev() {
                 let succ = v_ref.next[lvl].load(Ordering::Acquire, &guard);
+                // SAFETY: `preds` entries were locked and validated by
+                // `lock_and_validate` under the pinned `guard`.
                 unsafe { preds[lvl].deref() }.next[lvl].store(succ, Ordering::Release);
             }
             drop(victim_lock);
             drop(locks);
+            // SAFETY: the victim is now unlinked from every level and
+            // marked, so no new traversal can reach it; defer_destroy
+            // frees it only after all current pins are released.
             unsafe {
                 guard.defer_destroy(victim);
             }
@@ -280,6 +315,8 @@ impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
         let mut preds = [Shared::null(); MAX_LEVEL];
         let mut succs = [Shared::null(); MAX_LEVEL];
         let lf = self.find(key, &mut preds, &mut succs, &guard)?;
+        // SAFETY: `succs[lf]` was read under `guard`, still pinned
+        // here, so the node has not been reclaimed.
         let node = unsafe { succs[lf].deref() };
         if !node.fully_linked.load(Ordering::Acquire) || node.marked.load(Ordering::Acquire) {
             return None;
@@ -298,6 +335,8 @@ impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
         let mut succs = [Shared::null(); MAX_LEVEL];
         match self.find(key, &mut preds, &mut succs, &guard) {
             Some(lf) => {
+                // SAFETY: `succs[lf]` was read under `guard`, still
+                // pinned here, so the node has not been reclaimed.
                 let node = unsafe { succs[lf].deref() };
                 node.fully_linked.load(Ordering::Acquire) && !node.marked.load(Ordering::Acquire)
             }
@@ -332,8 +371,13 @@ impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
     fn walk(&self, mut f: impl FnMut(&K, V)) {
         let guard = epoch::pin();
         let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: the head sentinel lives as long as the map and is
+        // never unlinked or reclaimed.
         let mut curr = unsafe { head.deref() }.next[0].load(Ordering::Acquire, &guard);
         loop {
+            // SAFETY: level-0 successors read under the pinned `guard`
+            // stay live until it is dropped; PosInf terminates the walk
+            // before any null.
             let node = unsafe { curr.deref() };
             match &node.key {
                 Key::PosInf => break,
@@ -355,6 +399,10 @@ impl<K: Ord, V: Clone> LazySkipListMap<K, V> {
 
 impl<K, V> Drop for LazySkipListMap<K, V> {
     fn drop(&mut self) {
+        // SAFETY: `&mut self` ⇒ no concurrent access, so the
+        // unprotected guard and immediate `into_owned` frees are sound.
+        // Nodes removed earlier went to the epoch collector and are no
+        // longer reachable from level 0.
         unsafe {
             let guard = epoch::unprotected();
             let mut curr = self.head.load(Ordering::Relaxed, guard);

@@ -70,6 +70,9 @@ impl<T> ConcurrentStack<T> {
         let guard = epoch::pin();
         loop {
             let head = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: `head` was loaded under the pinned `guard`;
+            // popped nodes are reclaimed only via defer_destroy, so a
+            // non-null head still points at a live node.
             let node = unsafe { head.as_ref() }?;
             let next = node.next.load(Ordering::Relaxed, &guard);
             if self
@@ -82,7 +85,7 @@ impl<T> ConcurrentStack<T> {
                 // shell (value untouched thanks to ManuallyDrop) is
                 // freed after the grace period.
                 unsafe {
-                    let value = ptr::read(&*node.value);
+                    let value = ptr::read(&raw const *node.value);
                     guard.defer_destroy(head);
                     return Some(value);
                 }
@@ -108,7 +111,10 @@ impl<T> ConcurrentStack<T> {
 
 impl<T> Drop for ConcurrentStack<T> {
     fn drop(&mut self) {
-        // &mut self ⇒ exclusive; free remaining nodes and their values.
+        // SAFETY: `&mut self` ⇒ exclusive access, so the unprotected
+        // guard and immediate `into_owned` frees are sound; each node's
+        // value is still initialized (ManuallyDrop is only taken in
+        // `pop`, and popped nodes are no longer reachable from head).
         unsafe {
             let guard = epoch::unprotected();
             let mut curr = self.head.load(Ordering::Relaxed, guard);

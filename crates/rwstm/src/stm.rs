@@ -24,6 +24,7 @@ struct VarInner<T> {
 // SAFETY: `data` is only accessed under `lock` (shared for reads,
 // exclusive for writes), making the UnsafeCell race-free.
 unsafe impl<T: Send> Send for VarInner<T> {}
+// SAFETY: same argument — all access to `data` is mediated by `lock`.
 unsafe impl<T: Send + Sync> Sync for VarInner<T> {}
 
 /// A transactional variable — one unit of read/write conflict
@@ -91,6 +92,8 @@ impl<T: Clone + Send + Sync + 'static> StmVar<T> {
         let version = inner.version.load(Ordering::Acquire);
         // SAFETY: shared lock held.
         let value = unsafe { (*inner.data.get()).clone() };
+        // SAFETY: balances the successful try_lock_shared above, on the
+        // same lock, still held by this thread.
         unsafe { inner.lock.unlock_shared() };
         if version > txn.rv {
             txn.stm.note_conflict(self.addr());
@@ -133,6 +136,8 @@ impl<T: Clone + Send + Sync + 'static> StmVar<T> {
         inner.lock.lock_shared();
         // SAFETY: shared lock held.
         let value = unsafe { (*inner.data.get()).clone() };
+        // SAFETY: balances the lock_shared above, on the same lock,
+        // still held by this thread.
         unsafe { inner.lock.unlock_shared() };
         value
     }
@@ -166,6 +171,8 @@ impl<T: Clone + Send + Sync + 'static> ReadCheck for ReadEntry<T> {
             return false; // another committer is mid-publish
         }
         let ok = inner.version.load(Ordering::Acquire) == self.version;
+        // SAFETY: balances the successful try_lock_shared above, on the
+        // same lock, still held by this thread.
         unsafe { inner.lock.unlock_shared() };
         ok
     }
@@ -192,6 +199,9 @@ impl<T: Clone + Send + Sync + 'static> WriteOp for WriteEntry<T> {
     }
 
     fn unlock_exclusive(&self) {
+        // SAFETY: only called by the committer that succeeded in
+        // try_lock_exclusive on this entry (commit's lock/unlock pairing
+        // is linear), so the exclusive lock is held by this thread.
         unsafe { self.var.0.lock.unlock_exclusive() };
     }
 
@@ -369,7 +379,7 @@ impl Stm {
         // Phase 1: lock the write set in address order (BTreeMap
         // iteration order), aborting rather than waiting.
         let mut locked: Vec<&dyn WriteOp> = Vec::with_capacity(txn.writes.len());
-        for (&addr, w) in txn.writes.iter() {
+        for (&addr, w) in &txn.writes {
             if !w.try_lock_exclusive() {
                 for l in &locked {
                     l.unlock_exclusive();

@@ -25,6 +25,9 @@ extern "C" {
 /// during the drain still only sets the flag — the drain itself is
 /// bounded by the server's retry caps and drain grace.
 pub fn install() {
+    // SAFETY: libc `signal` with a handler that is async-signal-safe —
+    // `on_signal` only stores to an atomic. The raw extern call has no
+    // pointer arguments; SIGTERM/SIGINT are valid signal numbers.
     unsafe {
         signal(SIGTERM, on_signal);
         signal(SIGINT, on_signal);

@@ -25,6 +25,8 @@ static GARBAGE: Mutex<Vec<Deferred>> = Mutex::new(Vec::new());
 
 struct Deferred {
     ptr: *mut (),
+    // SAFETY: calling contract — `ptr` must be the `Box::into_raw` of
+    // the type `drop_fn` was instantiated for, and called exactly once.
     drop_fn: unsafe fn(*mut ()),
 }
 
@@ -34,7 +36,11 @@ struct Deferred {
 // across threads by construction.
 unsafe impl Send for Deferred {}
 
+/// # Safety
+/// `ptr` must be a `Box::into_raw`-produced pointer to a live `T`, and
+/// this must be its only remaining owner.
 unsafe fn drop_box<T>(ptr: *mut ()) {
+    // SAFETY: guaranteed by the function's contract above.
     drop(unsafe { Box::from_raw(ptr as *mut T) });
 }
 
@@ -139,14 +145,16 @@ pub struct Owned<T> {
 
 // SAFETY: `Owned` is a unique owner, exactly like `Box<T>`.
 unsafe impl<T: Send> Send for Owned<T> {}
+// SAFETY: shared references to `Owned<T>` only expose `&T`.
 unsafe impl<T: Sync> Sync for Owned<T> {}
 
 impl<T> Owned<T> {
     /// Allocate `value` on the heap.
     pub fn new(value: T) -> Self {
-        // SAFETY: `Box::into_raw` never returns null.
+        let raw = Box::into_raw(Box::new(value));
         Owned {
-            ptr: unsafe { NonNull::new_unchecked(Box::into_raw(Box::new(value))) },
+            // SAFETY: `Box::into_raw` never returns null.
+            ptr: unsafe { NonNull::new_unchecked(raw) },
         }
     }
 
@@ -199,9 +207,13 @@ impl<T> Pointer<T> for Owned<T> {
         ptr
     }
 
+    // SAFETY: contract inherited from `Pointer::from_ptr` — `ptr` came
+    // from `into_ptr`, so it is a live, uniquely-owned allocation.
     unsafe fn from_ptr(ptr: *mut T) -> Self {
         debug_assert!(!ptr.is_null());
         Owned {
+            // SAFETY: `into_ptr` pointers originate in `Box::into_raw`
+            // and are never null (debug-checked above).
             ptr: unsafe { NonNull::new_unchecked(ptr) },
         }
     }
@@ -255,6 +267,8 @@ impl<'g, T> Shared<'g, T> {
     /// the guard that produced this pointer is live and the pointee was
     /// reachable when loaded.
     pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        // SAFETY: the caller upholds the liveness contract above; the
+        // `'g` bound ties the borrow to the pinning guard.
         unsafe { self.ptr.as_ref() }
     }
 
@@ -264,6 +278,8 @@ impl<'g, T> Shared<'g, T> {
     /// As [`Shared::as_ref`], plus the pointer must be non-null.
     pub unsafe fn deref(&self) -> &'g T {
         debug_assert!(!self.ptr.is_null(), "deref of null Shared");
+        // SAFETY: non-null (caller contract, debug-checked) and alive
+        // while the guard `'g` pins.
         unsafe { &*self.ptr }
     }
 
@@ -273,6 +289,8 @@ impl<'g, T> Shared<'g, T> {
     /// The caller must be the sole owner (e.g. inside `Drop` with
     /// exclusive access) and the pointer must be non-null.
     pub unsafe fn into_owned(self) -> Owned<T> {
+        // SAFETY: sole ownership is the caller's contract; the pointer
+        // originally came from `Owned::into_ptr`.
         unsafe { Owned::from_ptr(self.ptr as *mut T) }
     }
 }
@@ -282,6 +300,8 @@ impl<T> Pointer<T> for Shared<'_, T> {
         self.ptr as *mut T
     }
 
+    // SAFETY: contract inherited from `Pointer::from_ptr`; a `Shared`
+    // adds no new capability (dereferencing it is itself unsafe).
     unsafe fn from_ptr(ptr: *mut T) -> Self {
         Shared {
             ptr,
@@ -307,6 +327,8 @@ pub struct Atomic<T> {
 // SAFETY: `Atomic` hands out `Shared` references across threads exactly
 // like `crossbeam::epoch::Atomic`; the same bounds apply.
 unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: as above — the pointee is shared across threads, so both
+// `Send` and `Sync` on `T` are required and sufficient.
 unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
 
 impl<T> Atomic<T> {
@@ -355,7 +377,11 @@ impl<T> Atomic<T> {
             // SAFETY: pointers round-tripped through `Pointer`.
             Ok(prev) => Ok(unsafe { Shared::from_ptr(prev) }),
             Err(actual) => Err(CompareExchangeError {
+                // SAFETY: `actual` is a pointer this atomic held, i.e.
+                // it round-tripped through `Pointer` when stored.
                 current: unsafe { Shared::from_ptr(actual) },
+                // SAFETY: `new_ptr` came from `new.into_ptr()` above,
+                // returning ownership of the rejected value.
                 new: unsafe { P::from_ptr(new_ptr) },
             }),
         }
@@ -379,7 +405,9 @@ mod tests {
         let guard = pin();
         let s = Owned::new(41).into_shared(&guard);
         assert!(!s.is_null());
+        // SAFETY: just allocated, never shared with another thread.
         assert_eq!(unsafe { *s.deref() }, 41);
+        // SAFETY: this test is the sole owner.
         drop(unsafe { s.into_owned() });
     }
 
@@ -393,6 +421,8 @@ mod tests {
         let err = attempt.err().expect("CAS against stale must fail");
         assert_eq!(err.current, cur);
         assert_eq!(*err.new, 2); // ownership came back; freed on drop
+                                 // SAFETY: the atomic is local to this test; `cur` is its only
+                                 // remaining allocation and nothing else references it.
         unsafe {
             drop(cur.into_owned());
         }
@@ -411,6 +441,8 @@ mod tests {
         {
             let inner = pin();
             let s = Owned::new(NoisyDrop(Arc::clone(&drops))).into_shared(&inner);
+            // SAFETY: `s` was never published; no other thread can
+            // reach it, and it is deferred exactly once.
             unsafe { inner.defer_destroy(s) };
         }
         // `outer` still pins: nothing may be reclaimed yet.

@@ -331,6 +331,9 @@ impl lock_api::RawRwLock for RawRwLock {
         }
     }
 
+    // SAFETY: caller contract (lock_api's) — the current thread holds a
+    // shared lock; the decrement then cannot underflow or collide with
+    // the writer bit (debug-checked).
     unsafe fn unlock_shared(&self) {
         let prev = self.state.fetch_sub(1, Ordering::Release);
         debug_assert!(prev != 0 && prev != WRITE_LOCKED, "unlock_shared misuse");
@@ -348,6 +351,9 @@ impl lock_api::RawRwLock for RawRwLock {
             .is_ok()
     }
 
+    // SAFETY: caller contract (lock_api's) — the current thread holds
+    // the exclusive lock, so the state must be exactly WRITE_LOCKED
+    // (debug-checked).
     unsafe fn unlock_exclusive(&self) {
         let prev = self.state.swap(0, Ordering::Release);
         debug_assert_eq!(prev, WRITE_LOCKED, "unlock_exclusive misuse");
@@ -415,14 +421,17 @@ mod tests {
         assert!(l.try_lock_shared());
         assert!(l.try_lock_shared());
         assert!(!l.try_lock_exclusive());
+        // SAFETY: balances the two successful try_lock_shared above.
         unsafe {
             l.unlock_shared();
             l.unlock_shared();
         }
         assert!(l.try_lock_exclusive());
         assert!(!l.try_lock_shared());
+        // SAFETY: balances the successful try_lock_exclusive above.
         unsafe { l.unlock_exclusive() };
         assert!(l.try_lock_shared());
+        // SAFETY: balances the successful try_lock_shared above.
         unsafe { l.unlock_shared() };
     }
 }
