@@ -19,7 +19,10 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 use txboost_bench::report::{BenchReport, SeriesPoint};
-use txboost_bench::*;
+use txboost_bench::{
+    fig10_run, fig11_run, fig9_run, idgen_run, intro_list_run, overhead_run, pipeline_run,
+    Fig10Lock, Fig11Lock, Fig9Impl, IdGenImpl, IntroListImpl, RunConfig, RunResult,
+};
 
 #[derive(Debug)]
 struct Args {
@@ -69,18 +72,23 @@ fn parse_args() -> Args {
                 .unwrap_or_else(|| panic!("missing value for {flag}"))
         };
         match flag.as_str() {
-            "--fig" => args.figs = val().split(',').map(|s| s.to_string()).collect(),
+            "--fig" => {
+                args.figs = val()
+                    .split(',')
+                    .map(std::string::ToString::to_string)
+                    .collect();
+            }
             "--threads" => {
                 args.threads = val()
                     .split(',')
                     .map(|s| s.parse().expect("bad thread count"))
-                    .collect()
+                    .collect();
             }
             "--duration-ms" => {
-                args.duration = Duration::from_millis(val().parse().expect("bad duration"))
+                args.duration = Duration::from_millis(val().parse().expect("bad duration"));
             }
             "--think-us" => {
-                args.think = Some(Duration::from_micros(val().parse().expect("bad think")))
+                args.think = Some(Duration::from_micros(val().parse().expect("bad think")));
             }
             "--key-range" => args.key_range = val().parse().expect("bad key range"),
             "--csv-dir" => args.csv_dir = Some(val()),
@@ -126,7 +134,10 @@ impl Table {
     fn new(title: &str, header: &[&str]) -> Self {
         Table {
             title: title.to_string(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
             points: Vec::new(),
         }
@@ -145,7 +156,7 @@ impl Table {
 
     fn print(&self) {
         println!("\n=== {} ===", self.title);
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(std::string::String::len).collect();
         for r in &self.rows {
             for (i, c) in r.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());

@@ -62,7 +62,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         addr: "127.0.0.1:7411".to_string(),
         threads: 4,
-        duration: Duration::from_millis(3000),
+        duration: Duration::from_secs(3),
         keys: 1024,
         skew: 0.2,
         mix: parse_mix("transfer:40,read:30,counter:20,pq:5,idgen:5"),
@@ -80,7 +80,7 @@ fn parse_args() -> Args {
             "--addr" => args.addr = val(),
             "--threads" => args.threads = val().parse().expect("bad --threads"),
             "--duration-ms" => {
-                args.duration = Duration::from_millis(val().parse().expect("bad --duration-ms"))
+                args.duration = Duration::from_millis(val().parse().expect("bad --duration-ms"));
             }
             "--keys" => args.keys = val().parse().expect("bad --keys"),
             "--skew" => {
@@ -278,7 +278,7 @@ fn main() {
     let merged = tally
         .hist
         .iter()
-        .map(|h| h.snapshot())
+        .map(txboost_core::LatencyHistogram::snapshot)
         .reduce(|a, b| a.merge(&b))
         .unwrap_or_default();
     let total = SeriesPoint {

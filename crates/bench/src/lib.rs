@@ -167,7 +167,7 @@ pub struct Workload {
 impl Workload {
     /// Execute one transaction.
     pub fn run_one(&self, rng: &mut StdRng) {
-        (self.run_one)(rng)
+        (self.run_one)(rng);
     }
 
     /// Snapshot the runtime counters.

@@ -81,15 +81,13 @@ where
         let previous = self.base.insert(key.clone(), value);
         let base = Arc::clone(&self.base);
         let prev_clone = previous.clone();
-        txn.log_undo(move || {
-            match prev_clone {
-                Some(old) => {
-                    base.insert(key, old);
-                }
-                None => {
-                    base.remove(&key);
-                }
-            };
+        txn.log_undo(move || match prev_clone {
+            Some(old) => {
+                base.insert(key, old);
+            }
+            None => {
+                base.remove(&key);
+            }
         });
         Ok(previous)
     }

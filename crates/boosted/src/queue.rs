@@ -73,8 +73,12 @@ impl<T: Send + 'static> BoostedBlockingQueue<T> {
         self.empty.release(txn);
         let base = Arc::clone(&self.base);
         txn.log_undo(move || {
-            base.try_take_last()
-                .expect("inverse take_last found an empty deque");
+            // A panic inside abort replay would poison the rollback, so
+            // assert the invariant with debug_assert! (release-safe):
+            // the inverse runs while the transaction still holds its
+            // semaphore bookkeeping, so the item must still be present.
+            let taken = base.try_take_last();
+            debug_assert!(taken.is_some(), "inverse take_last found an empty deque");
         });
         Ok(())
     }
@@ -97,8 +101,12 @@ impl<T: Send + 'static> BoostedBlockingQueue<T> {
         let base = Arc::clone(&self.base);
         let undo_value = value.clone();
         txn.log_undo(move || {
-            base.try_offer_first(undo_value)
-                .unwrap_or_else(|_| panic!("inverse offer_first found a full deque"));
+            // Same reasoning as offer's inverse: the slot this take
+            // freed has not been published (the semaphore release is
+            // commit-deferred), so room is guaranteed; never panic in
+            // abort replay.
+            let restored = base.try_offer_first(undo_value);
+            debug_assert!(restored.is_ok(), "inverse offer_first found a full deque");
         });
         Ok(value)
     }
@@ -133,8 +141,9 @@ impl<T: Send + 'static> BoostedBlockingQueue<T> {
         self.empty.release(txn);
         let base = Arc::clone(&self.base);
         txn.log_undo(move || {
-            base.try_take_last()
-                .expect("inverse take_last found an empty deque");
+            // See `offer`: abort replay must not panic.
+            let taken = base.try_take_last();
+            debug_assert!(taken.is_some(), "inverse take_last found an empty deque");
         });
         Ok(())
     }

@@ -41,7 +41,12 @@ impl<T: Clone + Send + Sync + 'static> BoostedStack<T> {
         self.base.push(value);
         let base = Arc::clone(&self.base);
         txn.log_undo(move || {
-            base.pop().expect("inverse pop found an empty stack");
+            // The abstract lock is still held during abort replay, so
+            // the pushed value must still be there. Evaluate the pop
+            // unconditionally; only the check compiles out in release
+            // (a panic here would poison the whole rollback).
+            let popped = base.pop();
+            debug_assert!(popped.is_some(), "inverse pop found an empty stack");
         });
         Ok(())
     }

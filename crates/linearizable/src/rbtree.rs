@@ -452,7 +452,7 @@ impl<K: Ord + Clone> RbTreeSet<K> {
         if lh != rh {
             return Err(format!("black-height mismatch: {lh} vs {rh}"));
         }
-        Ok(lh + if self.color(x) == Color::Black { 1 } else { 0 })
+        Ok(lh + usize::from(self.color(x) == Color::Black))
     }
 }
 

@@ -132,7 +132,7 @@ impl<K: Hash + Eq, V, S: BuildHasher> StripedHashMap<K, V, S> {
 
     /// Visit every entry, one stripe at a time.
     pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
-        for stripe in self.stripes.iter() {
+        for stripe in &self.stripes {
             for (k, v) in stripe.read().iter() {
                 f(k, v);
             }

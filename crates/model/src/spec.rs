@@ -99,7 +99,7 @@ impl SetSpec {
         match (call.op, call.resp) {
             (SetOp::Add(x), true) => Some(Call::new(SetOp::Remove(x), true)),
             (SetOp::Remove(x), true) => Some(Call::new(SetOp::Add(x), true)),
-            (SetOp::Add(_), false) | (SetOp::Remove(_), false) | (SetOp::Contains(_), _) => None,
+            (SetOp::Add(_) | SetOp::Remove(_), false) | (SetOp::Contains(_), _) => None,
         }
     }
 

@@ -523,7 +523,7 @@ impl<K: Ord + Clone + Send + Sync + 'static> StmRbTreeSet<K> {
         if lh != rh {
             return Ok(Err(format!("black-height mismatch: {lh} vs {rh}")));
         }
-        Ok(Ok(lh + if d.color == Color::Black { 1 } else { 0 }))
+        Ok(Ok(lh + usize::from(d.color == Color::Black)))
     }
 }
 

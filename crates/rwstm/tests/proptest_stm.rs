@@ -122,7 +122,7 @@ proptest! {
                 }
                 Ok(())
             });
-            let total: i64 = vars.iter().map(|v| v.load()).sum();
+            let total: i64 = vars.iter().map(txboost_rwstm::StmVar::load).sum();
             prop_assert_eq!(total, 1000, "total changed");
         }
     }

@@ -603,9 +603,7 @@ mod tests {
     fn panics_are_caught_and_reported() {
         let report = run_with_seed(1, 2, |tid| {
             det::yield_point(Point::User);
-            if tid == 1 {
-                panic!("boom on t1");
-            }
+            assert!(tid != 1, "boom on t1");
         });
         assert!(report.failed());
         assert_eq!(report.panics.len(), 1);

@@ -98,7 +98,12 @@ impl Executor {
             for (i, sop) in ops.iter().enumerate() {
                 let op_t0 = Instant::now();
                 let r = self.run_op(txn, &sop.op, i as u16, &failed)?;
-                self.op_hist[(sop.op.opcode() - 1) as usize].record_duration(op_t0.elapsed());
+                // This closure re-runs on every conflict retry; an
+                // out-of-range opcode must degrade to an unrecorded
+                // sample, never a panic that kills the connection.
+                if let Some(hist) = self.op_hist.get((sop.op.opcode() - 1) as usize) {
+                    hist.record_duration(op_t0.elapsed());
+                }
                 if !sop.guard.admits(&r) {
                     failed.set(Some((i as u16, false)));
                     return Err(Abort::explicit());
@@ -327,12 +332,13 @@ fn push_hist(out: &mut String, h: &HistogramSnapshot) {
 }
 
 fn json_escape_into(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }

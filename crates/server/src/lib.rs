@@ -84,7 +84,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
+            .map(std::num::NonZero::get)
             .unwrap_or(4);
         ServerConfig {
             addr: "127.0.0.1:7411".to_string(),
@@ -321,12 +321,9 @@ fn acceptor_loop(
                 conns.accepted.fetch_add(1, Ordering::Relaxed);
                 conns.open.fetch_add(1, Ordering::Relaxed);
                 let id = next_conn_id.fetch_add(1, Ordering::Relaxed);
-                let write_half = match stream.try_clone() {
-                    Ok(s) => s,
-                    Err(_) => {
-                        conns.open.fetch_sub(1, Ordering::Relaxed);
-                        continue;
-                    }
+                let Ok(write_half) = stream.try_clone() else {
+                    conns.open.fetch_sub(1, Ordering::Relaxed);
+                    continue;
                 };
                 let conn = Arc::new(Conn {
                     writer: Mutex::new(BufWriter::new(write_half)),

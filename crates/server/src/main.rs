@@ -30,13 +30,13 @@ fn main() {
             "--max-frame" => cfg.max_frame = val().parse().expect("bad --max-frame"),
             "--lock-timeout-us" => {
                 cfg.txn.lock_timeout =
-                    Duration::from_micros(val().parse().expect("bad --lock-timeout-us"))
+                    Duration::from_micros(val().parse().expect("bad --lock-timeout-us"));
             }
             "--max-retries" => {
-                cfg.txn.max_retries = Some(val().parse().expect("bad --max-retries"))
+                cfg.txn.max_retries = Some(val().parse().expect("bad --max-retries"));
             }
             "--default-sem-permits" => {
-                cfg.default_sem_permits = val().parse().expect("bad --default-sem-permits")
+                cfg.default_sem_permits = val().parse().expect("bad --default-sem-permits");
             }
             "--help" | "-h" => {
                 println!(

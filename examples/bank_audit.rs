@@ -119,8 +119,7 @@ fn main() {
 
     let snap = tm.stats().snapshot();
     println!(
-        "bank_audit done: {} accounts, total balance {final_sum} (conserved ✓), {alert_count} low-balance alerts",
-        ACCOUNTS
+        "bank_audit done: {ACCOUNTS} accounts, total balance {final_sum} (conserved ✓), {alert_count} low-balance alerts"
     );
     println!(
         "transactions: {} committed, {} aborted ({} injected, {} lock timeouts)",

@@ -186,7 +186,7 @@ fn producer_consumer_with_aborts_delivers_exactly_once() {
                         });
                         match r {
                             Ok(()) => break,
-                            Err(TxnError::ExplicitlyAborted) => continue,
+                            Err(TxnError::ExplicitlyAborted) => {}
                             Err(e) => panic!("producer failed: {e}"),
                         }
                     }
@@ -208,7 +208,7 @@ fn producer_consumer_with_aborts_delivers_exactly_once() {
                 });
                 match r {
                     Ok(v) => got.push(v),
-                    Err(TxnError::ExplicitlyAborted) => continue,
+                    Err(TxnError::ExplicitlyAborted) => {}
                     Err(e) => panic!("consumer failed: {e}"),
                 }
             }

@@ -240,14 +240,11 @@ fn recorded_commit_order_matches_lock_serialization_on_one_key() {
                     let txn = tm.begin();
                     recorder.init(label);
                     // toggle: add if absent else remove
-                    let present = match set.contains(&txn, &0) {
-                        Ok(p) => p,
-                        Err(_) => {
-                            tm.abort(txn, AbortReason::LockTimeout);
-                            recorder.abort(label);
-                            recorder.aborted(label);
-                            continue;
-                        }
+                    let Ok(present) = set.contains(&txn, &0) else {
+                        tm.abort(txn, AbortReason::LockTimeout);
+                        recorder.abort(label);
+                        recorder.aborted(label);
+                        continue;
                     };
                     let r = if present {
                         set.remove(&txn, &0).map(|b| (SetOp::Remove(0), b))

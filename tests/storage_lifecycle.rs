@@ -30,7 +30,7 @@ fn refcounted_slab_objects_are_freed_exactly_when_unreferenced() {
             // Reclamation is itself a disposable action running after
             // the decrementing transaction committed; freeing directly
             // is safe (nobody holds a reference any more).
-            arena.with_value(key, |v| v.clear());
+            arena.with_value(key, std::string::String::clear);
         });
     }
     let obj = Managed { key, rc };
