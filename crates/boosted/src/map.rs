@@ -80,15 +80,18 @@ where
         self.locks.lock(txn, &key)?;
         let previous = self.base.insert(key.clone(), value);
         let base = Arc::clone(&self.base);
-        let prev_clone = previous.clone();
-        txn.log_undo(move || match prev_clone {
-            Some(old) => {
+        // Branch *outside* the inverse so each logged closure captures
+        // only what its arm needs — `(Arc, K, V)` or `(Arc, K)` instead
+        // of `(Arc, K, Option<V>)` — keeping word-sized captures within
+        // the undo log's inline-slot budget (no heap allocation).
+        match previous.clone() {
+            Some(old) => txn.log_undo(move || {
                 base.insert(key, old);
-            }
-            None => {
+            }),
+            None => txn.log_undo(move || {
                 base.remove(&key);
-            }
-        });
+            }),
+        }
         Ok(previous)
     }
 

@@ -96,7 +96,7 @@ impl TSemaphore {
 
     /// Acquisition loop under a deterministic scheduler: the condvar
     /// wait becomes a scheduling round and the timeout runs on virtual
-    /// ticks, mirroring `AbstractLock::try_acquire_raw_det`. Every poll
+    /// ticks, mirroring `AbstractLock::acquire_det`. Every poll
     /// of the counter is a schedulable event, so the harness can
     /// explore wake orders between blocked consumers and committing
     /// producers.

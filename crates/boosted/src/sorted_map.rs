@@ -61,15 +61,17 @@ where
         self.locks.lock(txn, &key)?;
         let previous = self.base.insert(key.clone(), value);
         let base = Arc::clone(&self.base);
-        let prev_clone = previous.clone();
-        txn.log_undo(move || match prev_clone {
-            Some(old) => {
+        // Branch outside the inverse (see `BoostedHashMap::put`): each
+        // arm's closure captures only `(Arc, K, V)` or `(Arc, K)`, which
+        // keeps word-sized captures inline in the undo log.
+        match previous.clone() {
+            Some(old) => txn.log_undo(move || {
                 base.insert(key, old);
-            }
-            None => {
+            }),
+            None => txn.log_undo(move || {
                 base.remove(&key);
-            }
-        });
+            }),
+        }
         Ok(previous)
     }
 

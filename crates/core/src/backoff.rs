@@ -1,7 +1,53 @@
-//! Randomized exponential backoff between transaction retries.
+//! Randomized exponential backoff between transaction retries, and the
+//! bounded [`SpinWait`] used before parking on a contended lock.
 
 use rand::Rng;
 use std::time::Duration;
+
+/// A bounded exponential spinner: the "wait briefly before parking"
+/// phase of a contended lock acquisition.
+///
+/// Abstract locks are held for the remainder of a transaction, so most
+/// contended waits are short (the owner is about to commit); spinning a
+/// few hundred cycles first avoids the syscall-weight park/unpark round
+/// trip. Each [`SpinWait::spin`] call busy-waits twice as long as the
+/// last, and after a fixed budget returns `false`, telling the caller
+/// to fall back to parking.
+#[derive(Debug, Default)]
+pub struct SpinWait {
+    rounds: u32,
+}
+
+/// `2^MAX_SPIN_ROUNDS - 2` total `spin_loop` hints (~126) before
+/// [`SpinWait::spin`] gives up — a few hundred nanoseconds, comparable
+/// to one park/unpark round trip.
+const MAX_SPIN_ROUNDS: u32 = 6;
+
+impl SpinWait {
+    /// A fresh spinner with its full budget.
+    pub fn new() -> Self {
+        SpinWait::default()
+    }
+
+    /// Busy-wait for one (exponentially growing) round. Returns `false`
+    /// once the budget is exhausted, after which the caller should park.
+    pub fn spin(&mut self) -> bool {
+        if self.rounds >= MAX_SPIN_ROUNDS {
+            return false;
+        }
+        self.rounds += 1;
+        for _ in 0..(1u32 << self.rounds) {
+            std::hint::spin_loop();
+        }
+        true
+    }
+
+    /// Restore the full budget (e.g. after a successful acquisition,
+    /// for reuse on the next contended lock).
+    pub fn reset(&mut self) {
+        self.rounds = 0;
+    }
+}
 
 /// Randomized exponential backoff.
 ///
@@ -97,5 +143,19 @@ mod tests {
     #[should_panic(expected = "must not exceed")]
     fn inverted_bounds_rejected() {
         let _ = Backoff::new(Duration::from_millis(2), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn spinwait_budget_is_bounded_and_resettable() {
+        let mut s = SpinWait::new();
+        let mut rounds = 0;
+        while s.spin() {
+            rounds += 1;
+            assert!(rounds <= 64, "spin budget must be finite");
+        }
+        assert_eq!(rounds, 6);
+        assert!(!s.spin(), "an exhausted spinner stays exhausted");
+        s.reset();
+        assert!(s.spin(), "reset restores the budget");
     }
 }

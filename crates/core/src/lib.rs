@@ -65,13 +65,14 @@ pub mod cookbook;
 #[cfg(feature = "deterministic")]
 pub mod det;
 mod error;
+mod inline;
 pub mod locks;
 pub mod obs;
 mod stats;
 pub mod trace;
 mod txn;
 
-pub use backoff::Backoff;
+pub use backoff::{Backoff, SpinWait};
 pub use error::{Abort, AbortReason, TxnError};
 pub use obs::{
     ContentionRegistry, ContentionSnapshot, HistogramSnapshot, LatencyHistogram, LockLabel,

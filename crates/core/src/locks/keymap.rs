@@ -7,9 +7,16 @@ use crate::{TxResult, Txn};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const DEFAULT_SHARDS: usize = 64;
+
+/// Process-wide table-id counter. Every `KeyLockMap` gets a unique id,
+/// which namespaces its keys' tags in the per-transaction lock cache
+/// (see [`super::cache`]) — one transaction may lock keys in many
+/// tables without cross-table tag collisions.
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(1);
 
 type Shard<K, S> = Mutex<HashMap<K, Arc<AbstractLock>, S>>;
 
@@ -31,10 +38,29 @@ type Shard<K, S> = Mutex<HashMap<K, Arc<AbstractLock>, S>>;
 /// it registered, [`KeyLockMap::lock`] unregisters that entry again,
 /// so a storm of timed-out probes against vanished owners cannot leak
 /// table entries (see `lock` for the exact safety argument).
+///
+/// # Hot path
+///
+/// [`KeyLockMap::lock`] hashes the key **once** (the hash picks the
+/// stripe via a power-of-two mask and tags the per-transaction lock
+/// cache), answers *re*-acquisitions entirely from the transaction's
+/// `LockCache` (`locks/cache.rs`) — no shard mutex, no `HashMap` probe, no
+/// key clone — and on the miss path probes the shard with
+/// get-before-insert so existing keys are never cloned.
 #[derive(Debug)]
 pub struct KeyLockMap<K, S = RandomState> {
     shards: Box<[Shard<K, S>]>,
+    /// Table-level key hash: picks the stripe and doubles as the first
+    /// half of the lock-cache tag.
     hasher: S,
+    /// Second, independently seeded hash for the lock-cache tag; two
+    /// keys alias in the cache only if both hashes collide (~2⁻¹²⁸).
+    cache_hasher: RandomState,
+    /// `shards.len() - 1`; the shard count is a power of two so stripe
+    /// selection is a mask, not a division.
+    mask: usize,
+    /// Unique id namespacing this table's cache tags.
+    table_id: u64,
     /// One contention-attribution site per shard ("stripe"), present
     /// only for tables built with a `labeled` constructor. Every lock
     /// created in a shard shares that shard's site, so waits and
@@ -54,10 +80,12 @@ impl<K: Hash + Eq + Clone> KeyLockMap<K> {
         KeyLockMap::with_shards(DEFAULT_SHARDS)
     }
 
-    /// A lock table with `shards` internal partitions (rounded up to at
-    /// least 1). More shards reduce contention on the table itself.
+    /// A lock table with `shards` internal partitions (rounded up to
+    /// the next power of two, and to at least 1, so stripe selection
+    /// stays a bit mask). More shards reduce contention on the table
+    /// itself.
     pub fn with_shards(shards: usize) -> Self {
-        let n = shards.max(1);
+        let n = shards.max(1).next_power_of_two();
         let shards = (0..n)
             .map(|_| Mutex::new(HashMap::with_hasher(RandomState::new())))
             .collect::<Vec<_>>()
@@ -65,6 +93,9 @@ impl<K: Hash + Eq + Clone> KeyLockMap<K> {
         KeyLockMap {
             shards,
             hasher: RandomState::new(),
+            cache_hasher: RandomState::new(),
+            mask: n - 1,
+            table_id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
             sites: None,
         }
     }
@@ -93,58 +124,89 @@ impl<K: Hash + Eq + Clone> KeyLockMap<K> {
 }
 
 impl<K: Hash + Eq + Clone, S: BuildHasher> KeyLockMap<K, S> {
-    fn lock_for(&self, key: &K) -> Arc<AbstractLock> {
-        let idx = self.stripe_of(key);
+    /// The table-level hash of `key` — computed once per acquisition
+    /// and threaded through stripe selection, the cache tag, and
+    /// timeout cleanup.
+    fn key_hash(&self, key: &K) -> u64 {
+        self.hasher.hash_one(key)
+    }
+
+    fn stripe_of_hash(&self, h: u64) -> usize {
+        (h as usize) & self.mask
+    }
+
+    /// Fetch (or create) the lock entry for `key`, whose table-level
+    /// hash is `h`. Existing entries are found with a plain probe — no
+    /// key clone; only a first-touch insert clones the key.
+    fn lock_for_hash(&self, h: u64, key: &K) -> Arc<AbstractLock> {
+        let idx = self.stripe_of_hash(h);
         let mut shard = self.shards[idx].lock();
-        Arc::clone(shard.entry(key.clone()).or_insert_with(|| {
-            Arc::new(match &self.sites {
-                Some(sites) => AbstractLock::with_site(Arc::clone(&sites[idx])),
-                None => AbstractLock::new(),
-            })
-        }))
+        if let Some(existing) = shard.get(key) {
+            return Arc::clone(existing);
+        }
+        let lock = Arc::new(match &self.sites {
+            Some(sites) => AbstractLock::with_site(Arc::clone(&sites[idx])),
+            None => AbstractLock::new(),
+        });
+        shard.insert(key.clone(), Arc::clone(&lock));
+        lock
     }
 
     /// The stripe (shard index) that locks for `key` live in — and the
     /// stripe their contention is attributed to for labeled tables.
     pub fn stripe_of(&self, key: &K) -> usize {
-        (self.hasher.hash_one(key) as usize) % self.shards.len()
+        self.stripe_of_hash(self.key_hash(key))
     }
 
     /// Acquire the abstract lock for `key` on behalf of `txn`, blocking
     /// (up to the transaction's lock timeout) while another transaction
     /// holds it. The lock is held until `txn` commits or aborts.
     ///
+    /// Reacquisition — `txn` already holds `key`'s lock — is answered
+    /// from the transaction's lock-handle cache without touching the
+    /// shared table (see `locks/cache.rs` for the soundness argument).
+    ///
     /// A timed-out acquisition registers nothing with `txn`, and also
     /// un-registers the per-key table entry it created *if it can prove
     /// nobody else reaches that entry*: under the shard mutex, the
     /// entry is removed only when it has no owner and its `Arc` count
     /// is exactly two (the table's reference plus this call's local
-    /// handle). New handles are only minted by `lock_for` under the
-    /// same shard mutex, and every owner and every blocked waiter holds
-    /// a clone, so the count-of-two check guarantees removal can never
-    /// strand a transaction on a stale lock — the failure mode where
-    /// two `Arc`s exist for one key and mutual exclusion silently
+    /// handle). New handles are only minted by `lock_for_hash` under
+    /// the same shard mutex, and every owner and every blocked waiter
+    /// holds a clone (owners via both their registered handle and their
+    /// lock cache), so the count-of-two check guarantees removal can
+    /// never strand a transaction on a stale lock — the failure mode
+    /// where two `Arc`s exist for one key and mutual exclusion silently
     /// breaks.
     pub fn lock(&self, txn: &Txn, key: &K) -> TxResult<()> {
-        let lock = self.lock_for(key);
+        let h1 = self.key_hash(key);
+        let h2 = self.cache_hasher.hash_one(key);
+        if txn.lock_cache_hit(self.table_id, h1, h2) {
+            return Ok(());
+        }
+        let lock = self.lock_for_hash(h1, key);
         match lock.acquire(txn) {
+            Ok(()) => {
+                txn.lock_cache_insert(self.table_id, h1, h2, &lock);
+                Ok(())
+            }
             Err(abort) => {
-                self.cleanup_after_timeout(key, &lock);
+                self.cleanup_after_timeout(h1, key, &lock);
                 Err(abort)
             }
-            ok => ok,
         }
     }
 
     /// Remove `key`'s table entry after a timed-out acquisition, iff
     /// this call's handle and the table's are provably the only two.
-    fn cleanup_after_timeout(&self, key: &K, lock: &Arc<AbstractLock>) {
+    /// `h` is the key's already-computed table-level hash.
+    fn cleanup_after_timeout(&self, h: u64, key: &K, lock: &Arc<AbstractLock>) {
         // Let a deterministic schedule interleave the owner's release
         // between the timeout decision and this cleanup, so the
         // removal path is actually explored by the harness.
         #[cfg(feature = "deterministic")]
         crate::det::yield_point(crate::det::Point::LockCleanup);
-        let idx = self.stripe_of(key);
+        let idx = self.stripe_of_hash(h);
         let mut shard = self.shards[idx].lock();
         if let Some(entry) = shard.get(key) {
             if Arc::ptr_eq(entry, lock) && lock.owner().is_none() && Arc::strong_count(lock) == 2 {
@@ -167,6 +229,21 @@ impl<K: Hash + Eq + Clone, S: BuildHasher> KeyLockMap<K, S> {
     /// (diagnostics/tests).
     pub fn table_len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Test-only mutation hook: plant an entry for `key` in `txn`'s
+    /// lock cache **without acquiring the lock** — the bug that a
+    /// broken cache-invalidation (or tag-collision) scheme would
+    /// produce. The deterministic-harness mutation test uses this to
+    /// confirm a seeded sweep actually catches the resulting
+    /// mutual-exclusion violation. Never call outside tests.
+    #[cfg(feature = "deterministic")]
+    #[doc(hidden)]
+    pub fn poison_txn_cache_for_test(&self, txn: &Txn, key: &K) {
+        let h1 = self.key_hash(key);
+        let h2 = self.cache_hasher.hash_one(key);
+        let lock = self.lock_for_hash(h1, key);
+        txn.poison_lock_cache_for_test(self.table_id, h1, h2, &lock);
     }
 }
 
@@ -223,6 +300,37 @@ mod tests {
     }
 
     #[test]
+    fn reacquisition_is_served_by_the_txn_cache() {
+        let tm = manager(5);
+        let map = KeyLockMap::<i64>::new();
+        let a = tm.begin();
+        map.lock(&a, &1).unwrap();
+        assert_eq!(a.lock_cache_hits(), 0);
+        map.lock(&a, &1).unwrap();
+        map.lock(&a, &1).unwrap();
+        assert_eq!(a.lock_cache_hits(), 2, "reacquires must hit the cache");
+        assert_eq!(a.held_lock_count(), 1);
+        tm.commit(a);
+        assert!(!map.is_locked(&1));
+    }
+
+    #[test]
+    fn cache_is_invalidated_across_transactions() {
+        // Same thread, new transaction: the fresh txn's empty cache
+        // must not claim the old txn's (released) locks.
+        let tm = manager(5);
+        let map = KeyLockMap::<i64>::new();
+        let a = tm.begin();
+        map.lock(&a, &9).unwrap();
+        tm.commit(a);
+        let b = tm.begin();
+        map.lock(&b, &9).unwrap();
+        assert_eq!(b.lock_cache_hits(), 0, "fresh txn must take the slow path");
+        assert_eq!(b.held_lock_count(), 1);
+        tm.commit(b);
+    }
+
+    #[test]
     fn lock_entries_are_reused_not_duplicated() {
         let tm = manager(5);
         let map = KeyLockMap::<i64>::new();
@@ -249,6 +357,7 @@ mod tests {
     fn single_shard_table_still_correct() {
         let tm = manager(5);
         let map = KeyLockMap::<i64>::with_shards(1);
+        assert_eq!(map.shards.len(), 1, "1 is already a power of two");
         let a = tm.begin();
         let b = tm.begin();
         map.lock(&a, &1).unwrap();
@@ -256,6 +365,18 @@ mod tests {
         tm.commit(a);
         tm.commit(b);
         assert_eq!(map.table_len(), 2);
+    }
+
+    #[test]
+    fn shard_counts_round_up_to_powers_of_two() {
+        let map = KeyLockMap::<i64>::with_shards(48);
+        assert_eq!(map.shards.len(), 64);
+        assert_eq!(map.mask, 63);
+        // Stripe selection must agree with the mask for every key.
+        for k in 0..1000i64 {
+            assert!(map.stripe_of(&k) < 64);
+            assert_eq!(map.stripe_of(&k), map.stripe_of_hash(map.key_hash(&k)));
+        }
     }
 
     #[test]
@@ -319,12 +440,13 @@ mod tests {
         // explored by the deterministic-harness regression test.
         let tm = manager(5);
         let map = KeyLockMap::<i64>::new();
+        let h = map.key_hash(&3);
 
         // Orphaned entry (no owner, no other handle): removed.
         {
-            let handle = map.lock_for(&3);
+            let handle = map.lock_for_hash(h, &3);
             assert_eq!(map.table_len(), 1);
-            map.cleanup_after_timeout(&3, &handle);
+            map.cleanup_after_timeout(h, &3, &handle);
             assert_eq!(map.table_len(), 0, "orphaned entry must be removed");
         }
 
@@ -332,8 +454,8 @@ mod tests {
         {
             let a = tm.begin();
             map.lock(&a, &3).unwrap();
-            let handle = map.lock_for(&3);
-            map.cleanup_after_timeout(&3, &handle);
+            let handle = map.lock_for_hash(h, &3);
+            map.cleanup_after_timeout(h, &3, &handle);
             assert_eq!(map.table_len(), 1, "owned entry must survive cleanup");
             assert!(map.is_locked(&3));
             tm.commit(a);
@@ -343,12 +465,12 @@ mod tests {
         // still parked in `lock`): kept until the last handle's own
         // cleanup pass.
         {
-            let h1 = map.lock_for(&3);
-            let h2 = map.lock_for(&3);
-            map.cleanup_after_timeout(&3, &h1);
+            let h1 = map.lock_for_hash(h, &3);
+            let h2 = map.lock_for_hash(h, &3);
+            map.cleanup_after_timeout(h, &3, &h1);
             assert_eq!(map.table_len(), 1, "entry with other handles kept");
             drop(h2);
-            map.cleanup_after_timeout(&3, &h1);
+            map.cleanup_after_timeout(h, &3, &h1);
             assert_eq!(map.table_len(), 0);
         }
     }
@@ -371,5 +493,43 @@ mod tests {
         .unwrap();
         assert_eq!(tm.stats().snapshot().committed, threads as u64 * 100);
         assert_eq!(tm.stats().snapshot().aborted, 0);
+    }
+
+    #[test]
+    fn parallel_reacquires_on_shared_keys_stay_consistent() {
+        // Threads hammer a small key set with reacquire-heavy
+        // transactions; every commit must have genuinely held its keys.
+        let tm = std::sync::Arc::new(manager(1_000));
+        let map = std::sync::Arc::new(KeyLockMap::<usize>::new());
+        let token = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        crossbeam::scope(|s| {
+            for _ in 0..4 {
+                let (tm, map, token) = (
+                    std::sync::Arc::clone(&tm),
+                    std::sync::Arc::clone(&map),
+                    std::sync::Arc::clone(&token),
+                );
+                s.spawn(move |_| {
+                    for i in 0..200 {
+                        let key = i % 3;
+                        tm.run(|txn| {
+                            map.lock(txn, &key)?;
+                            // Reacquire (a cache hit), then a mutual
+                            // exclusion check: a non-atomic rmw under
+                            // the abstract lock.
+                            map.lock(txn, &key)?;
+                            let v = token.load(std::sync::atomic::Ordering::Relaxed);
+                            std::hint::black_box(v);
+                            token.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                            map.lock(txn, &key)?; // and again
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(tm.stats().snapshot().committed, 800);
     }
 }

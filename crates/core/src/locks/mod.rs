@@ -30,6 +30,7 @@
 //! `txboost-bench`.
 
 mod abstract_lock;
+pub(crate) mod cache;
 mod keymap;
 mod mutex;
 mod rwlock;

@@ -1,7 +1,9 @@
 //! Transactions and the transaction manager.
 
 use crate::error::{Abort, AbortReason, TxnError};
-use crate::locks::HeldLock;
+use crate::inline::ActionLog;
+use crate::locks::cache::LockCache;
+use crate::locks::{AbstractLock, HeldLock};
 use crate::stats::TxnStats;
 use crate::{Backoff, TxResult};
 use std::cell::{Cell, RefCell};
@@ -19,6 +21,21 @@ use std::time::{Duration, Instant};
 /// implemented.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxnId(NonZeroU64);
+
+impl TxnId {
+    /// The raw id, for packing into a lock word. Ids are minted by a
+    /// counter starting at 1, so the value is nonzero and far below the
+    /// lock word's flag bit.
+    pub(crate) fn raw(self) -> u64 {
+        self.0.get()
+    }
+
+    /// Reconstruct an id from a lock word's owner field (`None` for the
+    /// free state, 0).
+    pub(crate) fn from_raw(raw: u64) -> Option<TxnId> {
+        NonZeroU64::new(raw).map(TxnId)
+    }
+}
 
 impl fmt::Display for TxnId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -68,7 +85,65 @@ impl Default for TxnConfig {
     }
 }
 
-type Action = Box<dyn FnOnce() + Send>;
+/// Inline capacity of the undo log: deep enough for every in-tree
+/// transaction script (the busiest, the server's guarded transfer,
+/// logs 4 inverses). Deeper logs spill to the heap, which only costs
+/// the allocation the old `Vec<Box<dyn FnOnce>>` paid on *every* push.
+const UNDO_INLINE: usize = 12;
+
+/// Inline capacity of each deferred-action (on-commit / on-abort) log.
+const DEFER_INLINE: usize = 4;
+
+/// Inline capacity of the held-locks list.
+const LOCKS_INLINE: usize = 8;
+
+/// A vector with `N` inline slots; the spill `Vec` is touched only by
+/// transactions holding unusually many locks. (The undo/commit/abort
+/// logs use the type-erasing [`ActionLog`] instead; this plain safe
+/// variant is for the already-`Sized` lock handles.)
+#[derive(Debug)]
+struct InlineVec<T, const N: usize> {
+    inline: [Option<T>; N],
+    spill: Vec<T>,
+    len: usize,
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec {
+            inline: [const { None }; N],
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = Some(value);
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if self.len >= N {
+            self.spill.pop()
+        } else {
+            self.inline[self.len].take()
+        }
+    }
+}
 
 /// A high-water mark in a transaction's logs; see [`Txn::savepoint`].
 #[derive(Debug, Clone, Copy)]
@@ -100,10 +175,12 @@ pub struct Savepoint {
 pub struct Txn {
     id: TxnId,
     state: Cell<TxnState>,
-    undo_log: RefCell<Vec<Action>>,
-    on_commit: RefCell<Vec<Action>>,
-    on_abort: RefCell<Vec<Action>>,
-    held_locks: RefCell<Vec<Arc<dyn HeldLock>>>,
+    undo_log: RefCell<ActionLog<UNDO_INLINE>>,
+    on_commit: RefCell<ActionLog<DEFER_INLINE>>,
+    on_abort: RefCell<ActionLog<DEFER_INLINE>>,
+    held_locks: RefCell<InlineVec<Arc<dyn HeldLock>, LOCKS_INLINE>>,
+    /// Fast-path reacquire cache; see [`crate::locks::cache`].
+    lock_cache: RefCell<LockCache>,
     lock_timeout: Duration,
     started: Instant,
     /// Opt out of Send/Sync: a transaction is thread-confined.
@@ -126,10 +203,11 @@ impl Txn {
         Txn {
             id,
             state: Cell::new(TxnState::Active),
-            undo_log: RefCell::new(Vec::new()),
-            on_commit: RefCell::new(Vec::new()),
-            on_abort: RefCell::new(Vec::new()),
-            held_locks: RefCell::new(Vec::new()),
+            undo_log: RefCell::new(ActionLog::new()),
+            on_commit: RefCell::new(ActionLog::new()),
+            on_abort: RefCell::new(ActionLog::new()),
+            held_locks: RefCell::new(InlineVec::default()),
+            lock_cache: RefCell::new(LockCache::default()),
             lock_timeout,
             started: Instant::now(),
             _not_send: PhantomData,
@@ -165,13 +243,18 @@ impl Txn {
     /// (no *new* locks are required to abort — Lemma 5.2 in the paper
     /// guarantees inverses commute with all live operations).
     ///
+    /// Heap-allocation-free for closures capturing at most
+    /// `INLINE_WORDS` (4) machine words (every inverse in
+    /// `crates/boosted`) while the log is at most `UNDO_INLINE` deep;
+    /// see `core/src/inline.rs`.
+    ///
     /// # Panics
     /// Panics if the transaction is no longer active.
     pub fn log_undo(&self, inverse: impl FnOnce() + Send + 'static) {
         self.assert_active("log_undo");
         #[cfg(feature = "deterministic")]
         crate::det::yield_point(crate::det::Point::UndoPush);
-        self.undo_log.borrow_mut().push(Box::new(inverse));
+        self.undo_log.borrow_mut().push(inverse);
         crate::trace_event!(Undo {
             txn: self.id,
             depth: self.undo_log.borrow().len(),
@@ -190,7 +273,7 @@ impl Txn {
     /// Panics if the transaction is no longer active.
     pub fn defer_on_commit(&self, action: impl FnOnce() + Send + 'static) {
         self.assert_active("defer_on_commit");
-        self.on_commit.borrow_mut().push(Box::new(action));
+        self.on_commit.borrow_mut().push(action);
     }
 
     /// Defer a *disposable* method call until after the transaction has
@@ -203,7 +286,7 @@ impl Txn {
     /// Panics if the transaction is no longer active.
     pub fn defer_on_abort(&self, action: impl FnOnce() + Send + 'static) {
         self.assert_active("defer_on_abort");
-        self.on_abort.borrow_mut().push(Box::new(action));
+        self.on_abort.borrow_mut().push(action);
     }
 
     /// Request an explicit abort. Returns the [`Abort`] token to
@@ -239,17 +322,22 @@ impl Txn {
     pub fn rollback_to(&self, sp: Savepoint) {
         self.assert_active("rollback_to");
         assert_eq!(sp.txn, self.id, "savepoint from a different transaction");
-        {
-            let mut undo = self.undo_log.borrow_mut();
-            assert!(
-                sp.undo_len <= undo.len(),
-                "stale savepoint: undo log already shorter"
-            );
-            let suffix: Vec<Action> = undo.split_off(sp.undo_len);
-            drop(undo); // inverses may log nothing but must not alias the borrow
-            for inv in suffix.into_iter().rev() {
-                inv();
-            }
+        assert!(
+            sp.undo_len <= self.undo_log.borrow().len(),
+            "stale savepoint: undo log already shorter"
+        );
+        // Pop-and-run one inverse at a time, releasing the borrow
+        // before each call: inverses may log nothing but must not
+        // alias the borrow.
+        loop {
+            let action = {
+                let mut undo = self.undo_log.borrow_mut();
+                if undo.len() <= sp.undo_len {
+                    break;
+                }
+                undo.pop().expect("len checked above")
+            };
+            action.invoke();
         }
         self.on_commit.borrow_mut().truncate(sp.on_commit_len);
         self.on_abort.borrow_mut().truncate(sp.on_abort_len);
@@ -290,9 +378,66 @@ impl Txn {
         self.undo_log.borrow().len()
     }
 
+    /// Number of logged closures (across all three logs) that were too
+    /// large for inline storage and fell back to a heap allocation.
+    /// Every in-tree inverse stays inline; the `ablation_hotpath` bench
+    /// asserts this is 0 for the boosted-map transaction script.
+    pub fn boxed_action_count(&self) -> usize {
+        self.undo_log.borrow().boxed_count()
+            + self.on_commit.borrow().boxed_count()
+            + self.on_abort.borrow().boxed_count()
+    }
+
     /// Number of abstract locks currently registered (diagnostics/tests).
     pub fn held_lock_count(&self) -> usize {
         self.held_locks.borrow().len()
+    }
+
+    /// How many [`crate::locks::KeyLockMap`] acquisitions were answered
+    /// from this transaction's lock-handle cache instead of the shared
+    /// table (diagnostics/tests).
+    pub fn lock_cache_hits(&self) -> u64 {
+        self.lock_cache.borrow().hits()
+    }
+
+    /// Whether this transaction's lock cache proves it already holds
+    /// the lock tagged `(table, h1, h2)`; see [`crate::locks::cache`].
+    /// On a hit the acquisition is settled without touching the shared
+    /// lock table (the reentrant-acquire outcome).
+    pub(crate) fn lock_cache_hit(&self, table: u64, h1: u64, h2: u64) -> bool {
+        if self.lock_cache.borrow_mut().hit(table, h1, h2) {
+            #[cfg(feature = "deterministic")]
+            crate::det::yield_point(crate::det::Point::LockCacheHit);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record a successful key-lock acquisition in the fast-path cache.
+    /// Must only be called with a lock this transaction now holds.
+    pub(crate) fn lock_cache_insert(&self, table: u64, h1: u64, h2: u64, lock: &Arc<AbstractLock>) {
+        debug_assert_eq!(self.state.get(), TxnState::Active);
+        debug_assert_eq!(lock.owner(), Some(self.id));
+        self.lock_cache.borrow_mut().insert(table, h1, h2, lock);
+    }
+
+    /// Test-only mutation hook: plant a cache entry for a lock this
+    /// transaction does **not** hold, bypassing the ownership checks of
+    /// [`Txn::lock_cache_insert`]. Simulates a broken cache-invalidation
+    /// scheme so the deterministic-harness mutation test can confirm a
+    /// seeded sweep detects the resulting mutual-exclusion violation.
+    /// Never call outside tests.
+    #[cfg(feature = "deterministic")]
+    #[doc(hidden)]
+    pub fn poison_lock_cache_for_test(
+        &self,
+        table: u64,
+        h1: u64,
+        h2: u64,
+        lock: &Arc<AbstractLock>,
+    ) {
+        self.lock_cache.borrow_mut().insert(table, h1, h2, lock);
     }
 
     /// Register a two-phase lock acquired on behalf of this transaction.
@@ -326,7 +471,7 @@ impl Txn {
         self.release_locks();
         let actions = std::mem::take(&mut *self.on_commit.borrow_mut());
         for a in actions {
-            a();
+            a.invoke();
         }
     }
 
@@ -338,23 +483,31 @@ impl Txn {
         debug_assert_eq!(self.state.get(), TxnState::Active);
         self.state.set(TxnState::Aborted);
         self.on_commit.borrow_mut().clear();
-        let inverses = std::mem::take(&mut *self.undo_log.borrow_mut());
-        for inv in inverses.into_iter().rev() {
-            inv();
+        if !self.undo_log.borrow().is_empty() {
+            let inverses = std::mem::take(&mut *self.undo_log.borrow_mut());
+            for inv in inverses.into_iter().rev() {
+                inv.invoke();
+            }
         }
         self.release_locks();
         let actions = std::mem::take(&mut *self.on_abort.borrow_mut());
         for a in actions {
-            a();
+            a.invoke();
         }
     }
 
     fn release_locks(&self) {
-        let locks = std::mem::take(&mut *self.held_locks.borrow_mut());
+        // Invalidate the reacquire cache first: from here on this
+        // transaction provably holds nothing, so a stale hit is
+        // impossible no matter how release interleaves with other
+        // transactions' acquisitions.
+        self.lock_cache.borrow_mut().clear();
         // Release in reverse acquisition order (not required for
         // correctness — two-phase locking permits any release order at
         // end of transaction — but it keeps lock hand-off FIFO-ish).
-        for lock in locks.into_iter().rev() {
+        loop {
+            let lock = self.held_locks.borrow_mut().pop();
+            let Some(lock) = lock else { break };
             #[cfg(feature = "deterministic")]
             crate::det::yield_point(crate::det::Point::LockRelease);
             lock.release(self.id);

@@ -124,8 +124,13 @@ const YIELD_SITES: &[(&str, &str, &[&str])] = &[
     ("crates/core/src/backoff.rs", "backoff", &["Backoff"]),
     (
         "crates/core/src/locks/abstract_lock.rs",
-        "try_acquire_raw_det",
+        "acquire_det",
         &["LockAcquire", "block_tick"],
+    ),
+    (
+        "crates/core/src/txn.rs",
+        "lock_cache_hit",
+        &["LockCacheHit"],
     ),
     (
         "crates/core/src/locks/rwlock.rs",
@@ -455,6 +460,11 @@ fn unsafe_inventory(fa: &FileAnalysis, out: &mut RuleOutput) {
         }
         let kind = match fa.tok(i + 1) {
             Some(t) if t.text == "{" => "block",
+            // `unsafe fn(` is a function-*pointer type* (e.g. a vtable
+            // field `call: unsafe fn(*mut u8)`), not a declaration — a
+            // declaration always has a name between `fn` and `(`. The
+            // type has no body to justify; its call sites do.
+            Some(t) if t.text == "fn" && fa.tok(i + 2).is_some_and(|n| n.text == "(") => continue,
             Some(t) if t.text == "fn" => "fn",
             Some(t) if t.text == "impl" => "impl",
             Some(t) if t.text == "extern" => "extern",

@@ -14,3 +14,10 @@ pub fn first(xs: &[u8]) -> u8 {
     // SAFETY: the assert above guarantees the slice has a first byte.
     unsafe { *xs.as_ptr() }
 }
+
+/// A function-*pointer type* is not an unsafe declaration: it has no
+/// body to justify, so it needs no SAFETY comment (its call sites do).
+pub struct Vtable {
+    pub call: unsafe fn(*mut u8),
+    pub drop_fn: unsafe fn(*mut u8),
+}

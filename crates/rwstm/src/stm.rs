@@ -85,9 +85,23 @@ impl<T: Clone + Send + Sync + 'static> StmVar<T> {
             return Ok(entry.value.clone());
         }
         let inner = &*self.0;
-        if !inner.lock.try_lock_shared() {
-            txn.stm.note_conflict(self.addr());
-            return Err(Abort::conflict()); // a writer is publishing
+        // A failed shared-lock probe means a writer is mid-publish — a
+        // window of a handful of stores. A bounded spin rides it out
+        // instead of paying a full abort, backoff, and re-execution for
+        // a transient conflict. Under the deterministic scheduler the
+        // publishing writer cannot run while we spin (threads are
+        // scheduled cooperatively), so abort immediately there and let
+        // the harness explore the conflict.
+        #[cfg(feature = "deterministic")]
+        let patient = !txboost_core::det::active();
+        #[cfg(not(feature = "deterministic"))]
+        let patient = true;
+        let mut spin = txboost_core::SpinWait::new();
+        while !inner.lock.try_lock_shared() {
+            if !patient || !spin.spin() {
+                txn.stm.note_conflict(self.addr());
+                return Err(Abort::conflict()); // a writer is publishing
+            }
         }
         let version = inner.version.load(Ordering::Acquire);
         // SAFETY: shared lock held.
