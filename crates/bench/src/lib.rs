@@ -32,6 +32,7 @@
 //! finishes in minutes; pass `--think-us 100000` to `figures` for the
 //! paper's regime.
 
+pub mod arena;
 pub mod report;
 
 use rand::prelude::*;

@@ -133,6 +133,19 @@ where
     pub fn is_empty(&self) -> bool {
         self.base.is_empty()
     }
+
+    /// Committed entries, sorted by key — a quiescent-state digest for
+    /// tests and the bench arena's cross-backend conformance check.
+    /// Call only when no transactions are in flight.
+    pub fn snapshot(&self) -> Vec<(K, V)>
+    where
+        K: Ord,
+    {
+        let mut out = Vec::with_capacity(self.base.len());
+        self.base.for_each(|k, v| out.push((k.clone(), v.clone())));
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
 }
 
 #[cfg(test)]

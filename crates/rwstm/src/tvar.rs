@@ -1,0 +1,592 @@
+//! Minimal TVar-style STM — the `fast-stm` shape of read/write
+//! conflict detection.
+//!
+//! Where [`crate::Stm`] is TL2 (global version clock, read-time
+//! validation for opacity), this module vendors the *other* classic
+//! word-granularity design, the one Haskell-style STM libraries such as
+//! `fast-stm` use: a [`TVar`] holds its committed value behind an
+//! `Arc`, the `Arc` pointer identity **is** the version, and the only
+//! validation is at commit time — lock the whole access set in address
+//! order, check every read still points at the snapshot it observed,
+//! publish the buffered writes, release. No clock, no read-time
+//! checks, no opacity: a running transaction can observe mutually
+//! inconsistent reads, and finds out when its commit fails.
+//!
+//! The arena benchmark (`txboost-bench`) pits this backend against the
+//! TL2 baseline and against boosted objects on identical workloads;
+//! both STMs conflict on reads and writes with no knowledge of method
+//! semantics, which is precisely the gap the paper's Figures 9–11
+//! measure.
+
+use parking_lot::{Mutex, MutexGuard};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Instant;
+use txboost_core::{Abort, Backoff, TxResult, TxnConfig, TxnError, TxnStats};
+
+/// A committed value: the `Arc` identity doubles as the version stamp.
+type Value = Arc<dyn Any + Send + Sync>;
+
+/// Version check: do two handles name the same committed value? Thin
+/// data-pointer comparison on purpose — comparing wide `dyn` pointers
+/// would drag vtable identity (and its lint) into a question that is
+/// only about the allocation.
+fn same_version(a: &Value, b: &Value) -> bool {
+    std::ptr::eq(Arc::as_ptr(a).cast::<()>(), Arc::as_ptr(b).cast::<()>())
+}
+
+/// Shared state of one transactional variable.
+struct TVarInner {
+    /// Committed value. The mutex is held only for pointer-sized
+    /// critical sections (snapshot clone, commit publish) and all
+    /// transactional paths acquire it with `try_lock`, so the runtime
+    /// never blocks — contention surfaces as an abort, exactly like
+    /// the TL2 baseline.
+    value: Mutex<Value>,
+}
+
+/// A `fast-stm`-style transactional variable.
+///
+/// Granularity is the whole `T`, like [`crate::StmVar`]: any two
+/// transactions that touch the same `TVar` where at least one writes
+/// conflict, whether or not their operations commute.
+///
+/// Cloning clones the *handle*; both handles name the same variable.
+pub struct TVar<T> {
+    inner: Arc<TVarInner>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar {
+            inner: Arc::clone(&self.inner),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TVar@{:p}", Arc::as_ptr(&self.inner))
+    }
+}
+
+/// Bounded wait for a variable whose mutex is momentarily held.
+///
+/// The publish window is a handful of stores, so a short spin usually
+/// rides it out; under the deterministic scheduler the holder cannot
+/// run while we spin (threads are scheduled cooperatively), so give up
+/// immediately there and let the harness explore the conflict.
+fn patient() -> bool {
+    #[cfg(feature = "deterministic")]
+    {
+        !txboost_core::det::active()
+    }
+    #[cfg(not(feature = "deterministic"))]
+    {
+        true
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> TVar<T> {
+    /// A fresh variable holding `value`.
+    pub fn new(value: T) -> Self {
+        TVar {
+            inner: Arc::new(TVarInner {
+                value: Mutex::new(Arc::new(value)),
+            }),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Stable address identifying this variable within a run (commit
+    /// lock ordering and conflict attribution key off it).
+    pub fn addr(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    fn downcast(value: &Value) -> T {
+        value
+            .downcast_ref::<T>()
+            .expect("TVar log entry type mismatch")
+            .clone()
+    }
+
+    /// Transactional read. Returns the transaction's own buffered
+    /// write if there is one, the snapshot taken by an earlier read of
+    /// this variable if there is one (reads are repeatable), otherwise
+    /// a fresh snapshot of the committed value. The snapshot is *not*
+    /// validated against other reads — consistency is established only
+    /// at commit.
+    pub fn read(&self, txn: &mut TVarTxn<'_>) -> TxResult<T> {
+        #[cfg(feature = "deterministic")]
+        txboost_core::det::yield_point(txboost_core::det::Point::StmRead);
+        let addr = self.addr();
+        if let Some(entry) = txn.log.get(&addr) {
+            let seen = entry
+                .write
+                .as_ref()
+                .or(entry.read.as_ref())
+                .expect("log entry with neither read nor write");
+            return Ok(Self::downcast(seen));
+        }
+        let patient = patient();
+        let mut spin = txboost_core::SpinWait::new();
+        let snapshot = loop {
+            if let Some(guard) = self.inner.value.try_lock() {
+                break Arc::clone(&guard);
+            }
+            if !patient || !spin.spin() {
+                txn.stm.note_conflict(addr);
+                return Err(Abort::conflict()); // a committer is publishing
+            }
+        };
+        let out = Self::downcast(&snapshot);
+        txn.log.insert(
+            addr,
+            LogEntry {
+                var: Arc::clone(&self.inner),
+                read: Some(snapshot),
+                write: None,
+            },
+        );
+        Ok(out)
+    }
+
+    /// Transactional write: buffered until commit. A blind write (no
+    /// prior read of the variable) adds nothing to the validation set.
+    pub fn write(&self, txn: &mut TVarTxn<'_>, value: T) {
+        let addr = self.addr();
+        let value: Value = Arc::new(value);
+        match txn.log.get_mut(&addr) {
+            Some(entry) => entry.write = Some(value),
+            None => {
+                txn.log.insert(
+                    addr,
+                    LogEntry {
+                        var: Arc::clone(&self.inner),
+                        read: None,
+                        write: Some(value),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Read the committed value outside any transaction.
+    ///
+    /// Spins through commit publish windows; under the deterministic
+    /// scheduler it yields instead, so a suspended committer can run.
+    pub fn load(&self) -> T {
+        loop {
+            if let Some(guard) = self.inner.value.try_lock() {
+                return Self::downcast(&guard);
+            }
+            #[cfg(feature = "deterministic")]
+            if txboost_core::det::active() {
+                txboost_core::det::yield_point(txboost_core::det::Point::StmRead);
+                continue;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// One access-set entry: the snapshot a read observed (validated by
+/// `Arc` identity at commit) and/or the pending buffered write.
+struct LogEntry {
+    var: Arc<TVarInner>,
+    read: Option<Value>,
+    write: Option<Value>,
+}
+
+/// A running TVar transaction; handed to the closure passed to
+/// [`TVarStm::run`].
+pub struct TVarTxn<'a> {
+    stm: &'a TVarStm,
+    /// Keyed and iterated by variable address ⇒ commit locks in a
+    /// global order, so committers cannot deadlock.
+    log: BTreeMap<usize, LogEntry>,
+}
+
+impl TVarTxn<'_> {
+    /// Number of variables this transaction has touched so far.
+    pub fn access_set_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Number of buffered writes.
+    pub fn write_set_len(&self) -> usize {
+        self.log.values().filter(|e| e.write.is_some()).count()
+    }
+}
+
+/// The TVar STM runtime: retry loop, stats, conflict attribution.
+/// There is deliberately no global clock — versions are `Arc`
+/// identities.
+#[derive(Debug)]
+pub struct TVarStm {
+    stats: Arc<TxnStats>,
+    config: TxnConfig,
+    /// Abort attribution: how many conflicts each variable address
+    /// caused. Touched only on abort paths, never on the conflict-free
+    /// fast path.
+    conflicts: Mutex<HashMap<usize, u64>>,
+}
+
+impl Default for TVarStm {
+    fn default() -> Self {
+        TVarStm::new(TxnConfig::default())
+    }
+}
+
+impl TVarStm {
+    /// A runtime with the given retry/backoff configuration
+    /// (`lock_timeout` is unused — this STM never blocks, it aborts).
+    pub fn new(config: TxnConfig) -> Self {
+        TVarStm {
+            stats: Arc::new(TxnStats::default()),
+            config,
+            conflicts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Shared handle to commit/abort counters.
+    pub fn stats(&self) -> Arc<TxnStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Charge one conflict to the variable at `addr`.
+    fn note_conflict(&self, addr: usize) {
+        *self.conflicts.lock().entry(addr).or_insert(0) += 1;
+    }
+
+    /// Conflicts per variable address, most-conflicted first — same
+    /// conventions as [`crate::Stm::conflict_breakdown`].
+    pub fn conflict_breakdown(&self) -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = self
+            .conflicts
+            .lock()
+            .iter()
+            .map(|(&a, &n)| (a, n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Total conflicts recorded by [`TVarStm::conflict_breakdown`].
+    pub fn total_conflicts(&self) -> u64 {
+        self.conflicts.lock().values().sum()
+    }
+
+    /// Run `body` as a transaction, retrying on conflict with
+    /// randomized exponential backoff (same contract as
+    /// `TxnManager::run` in `txboost-core`).
+    pub fn run<R>(
+        &self,
+        mut body: impl FnMut(&mut TVarTxn<'_>) -> TxResult<R>,
+    ) -> Result<R, TxnError> {
+        let mut backoff = Backoff::new(self.config.backoff_min, self.config.backoff_max);
+        let mut attempts: u64 = 0;
+        loop {
+            self.stats.record_start();
+            let attempt_start = Instant::now();
+            let mut txn = TVarTxn {
+                stm: self,
+                log: BTreeMap::new(),
+            };
+            let (outcome, write_depth) = match body(&mut txn) {
+                Ok(value) => {
+                    let depth = txn.write_set_len() as u64;
+                    (self.try_commit(&txn).map(|()| value), depth)
+                }
+                Err(abort) => {
+                    let depth = txn.write_set_len() as u64;
+                    (Err(abort), depth)
+                }
+            };
+            match outcome {
+                Ok(value) => {
+                    self.stats.record_commit();
+                    self.stats
+                        .record_attempt(attempt_start.elapsed(), write_depth, true);
+                    return Ok(value);
+                }
+                Err(abort) => {
+                    self.stats.record_abort(abort.reason());
+                    self.stats
+                        .record_attempt(attempt_start.elapsed(), write_depth, false);
+                    // Explicit aborts are a decision, not a conflict —
+                    // never retried.
+                    if abort.reason() == txboost_core::AbortReason::Explicit {
+                        return Err(TxnError::ExplicitlyAborted);
+                    }
+                    attempts += 1;
+                    if let Some(max) = self.config.max_retries {
+                        if attempts > max {
+                            return Err(TxnError::RetriesExhausted(abort.reason()));
+                        }
+                    }
+                    backoff.backoff();
+                }
+            }
+        }
+    }
+
+    /// Commit: lock the whole access set in address order, validate
+    /// every read by `Arc` identity, publish the writes, release.
+    /// Read-only transactions validate too — that is what makes the
+    /// result serializable despite unvalidated reads.
+    fn try_commit(&self, txn: &TVarTxn<'_>) -> TxResult<()> {
+        if txn.log.is_empty() {
+            return Ok(());
+        }
+        #[cfg(feature = "deterministic")]
+        txboost_core::det::yield_point(txboost_core::det::Point::StmWrite);
+        // Phase 1: lock everything touched, in address order (BTreeMap
+        // iteration order), aborting rather than waiting.
+        let mut guards: Vec<MutexGuard<'_, Value>> = Vec::with_capacity(txn.log.len());
+        for (&addr, entry) in &txn.log {
+            let patient = patient();
+            let mut spin = txboost_core::SpinWait::new();
+            let guard = loop {
+                if let Some(g) = entry.var.value.try_lock() {
+                    break g;
+                }
+                if !patient || !spin.spin() {
+                    self.note_conflict(addr);
+                    return Err(Abort::conflict()); // guards drop ⇒ unlock
+                }
+            };
+            guards.push(guard);
+        }
+        // Phase 2: validate — every read must still see the exact Arc
+        // it snapshotted.
+        #[cfg(feature = "deterministic")]
+        txboost_core::det::yield_point(txboost_core::det::Point::StmValidate);
+        for (guard, (&addr, entry)) in guards.iter().zip(&txn.log) {
+            if let Some(read) = &entry.read {
+                if !same_version(guard, read) {
+                    self.note_conflict(addr);
+                    return Err(Abort::conflict());
+                }
+            }
+        }
+        // Phase 3: publish; releasing is the guards dropping.
+        for (guard, entry) in guards.iter_mut().zip(txn.log.values()) {
+            if let Some(write) = &entry.write {
+                **guard = Arc::clone(write);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_read_write_round_trip() {
+        let stm = TVarStm::default();
+        let v = TVar::new(10);
+        let out = stm
+            .run(|txn| {
+                let x = v.read(txn)?;
+                v.write(txn, x + 5);
+                v.read(txn)
+            })
+            .unwrap();
+        assert_eq!(out, 15, "read-own-writes failed");
+        assert_eq!(v.load(), 15);
+    }
+
+    #[test]
+    fn writes_are_invisible_until_commit() {
+        let stm = TVarStm::default();
+        let v = TVar::new(1);
+        stm.run(|txn| {
+            v.write(txn, 2);
+            assert_eq!(v.load(), 1);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(v.load(), 2);
+    }
+
+    #[test]
+    fn aborted_transaction_leaves_no_trace() {
+        let stm = TVarStm::new(TxnConfig {
+            max_retries: Some(0),
+            ..TxnConfig::default()
+        });
+        let v = TVar::new(1);
+        let res: Result<(), _> = stm.run(|txn| {
+            v.write(txn, 99);
+            Err(Abort::explicit())
+        });
+        assert!(res.is_err());
+        assert_eq!(v.load(), 1);
+    }
+
+    #[test]
+    fn reads_are_repeatable_within_a_transaction() {
+        // The second read of a variable returns the first read's
+        // snapshot even if another transaction committed in between;
+        // the stale transaction then fails validation and retries.
+        let stm = TVarStm::default();
+        let v = TVar::new(0);
+        let mut first_attempt = true;
+        let observed = stm
+            .run(|txn| {
+                let x = v.read(txn)?;
+                if first_attempt {
+                    first_attempt = false;
+                    std::thread::scope(|s| {
+                        s.spawn(|| {
+                            stm.run(|t2| {
+                                v.write(t2, 100);
+                                Ok(())
+                            })
+                            .unwrap();
+                        });
+                    });
+                    // Repeatable read: still the pinned snapshot.
+                    assert_eq!(v.read(txn)?, x);
+                }
+                v.write(txn, x + 1);
+                Ok(x)
+            })
+            .unwrap();
+        assert_eq!(observed, 100, "retry did not observe the concurrent commit");
+        assert_eq!(v.load(), 101);
+        assert!(stm.stats().snapshot().conflict_aborts >= 1);
+    }
+
+    #[test]
+    fn read_only_transactions_validate_at_commit() {
+        // A read-only transaction whose snapshot went stale before
+        // commit must abort and retry — that is the serializability
+        // guarantee for inconsistent-read windows.
+        let stm = TVarStm::default();
+        let a = TVar::new(1i64);
+        let b = TVar::new(-1i64);
+        let mut first_attempt = true;
+        let sum = stm
+            .run(|txn| {
+                let x = a.read(txn)?;
+                if first_attempt {
+                    first_attempt = false;
+                    std::thread::scope(|s| {
+                        s.spawn(|| {
+                            stm.run(|t2| {
+                                let xa = a.read(t2)?;
+                                let xb = b.read(t2)?;
+                                a.write(t2, xa + 10);
+                                b.write(t2, xb - 10);
+                                Ok(())
+                            })
+                            .unwrap();
+                        });
+                    });
+                }
+                let y = b.read(txn)?;
+                Ok(x + y)
+            })
+            .unwrap();
+        assert_eq!(sum, 0, "observed a torn read across the pair");
+        assert!(stm.stats().snapshot().conflict_aborts >= 1);
+    }
+
+    #[test]
+    fn no_lost_updates_under_contention() {
+        let stm = std::sync::Arc::new(TVarStm::default());
+        let v = TVar::new(0i64);
+        let threads = 8;
+        let per = 500;
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                let stm = std::sync::Arc::clone(&stm);
+                let v = v.clone();
+                s.spawn(move |_| {
+                    for _ in 0..per {
+                        stm.run(|txn| {
+                            let x = v.read(txn)?;
+                            v.write(txn, x + 1);
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(v.load(), threads * per);
+    }
+
+    #[test]
+    fn conflicts_are_attributed_to_the_contended_variable() {
+        let stm = TVarStm::default();
+        let hot = TVar::new(0);
+        let cold = TVar::new(0);
+        let mut first_attempt = true;
+        stm.run(|txn| {
+            let _ = cold.read(txn)?;
+            let x = hot.read(txn)?;
+            if first_attempt {
+                first_attempt = false;
+                std::thread::scope(|s| {
+                    s.spawn(|| {
+                        stm.run(|t2| {
+                            hot.write(t2, 100);
+                            Ok(())
+                        })
+                        .unwrap();
+                    });
+                });
+            }
+            hot.write(txn, x + 1);
+            Ok(())
+        })
+        .unwrap();
+        assert!(stm.total_conflicts() >= 1);
+        let breakdown = stm.conflict_breakdown();
+        assert_eq!(breakdown[0].0, hot.addr(), "blame fell on the wrong var");
+        assert!(
+            breakdown.iter().all(|&(a, _)| a != cold.addr()),
+            "uncontended variable was blamed"
+        );
+    }
+
+    #[test]
+    fn var_handles_share_state() {
+        let stm = TVarStm::default();
+        let v1 = TVar::new(5);
+        let v2 = v1.clone();
+        stm.run(|txn| {
+            v1.write(txn, 7);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(v2.load(), 7);
+    }
+
+    #[test]
+    fn access_and_write_set_sizes_are_tracked() {
+        let stm = TVarStm::default();
+        let a = TVar::new(1);
+        let b = TVar::new(2);
+        stm.run(|txn| {
+            let _ = a.read(txn)?;
+            let _ = b.read(txn)?;
+            b.write(txn, 9);
+            assert_eq!(txn.access_set_len(), 2);
+            assert_eq!(txn.write_set_len(), 1);
+            Ok(())
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Structural schema check for BENCH_arena.json.
+
+Used by two CI jobs: `arena-smoke` validates the JSON a fresh reduced-
+ladder run just emitted, and `figures-smoke` validates the committed
+baseline under bench_results/. Checks structure only — no throughput
+thresholds (the perf gate is the arena binary's --assert-gate, which
+computes it from the in-memory cells).
+
+Usage: check_arena_json.py PATH [--require-all-backends]
+"""
+
+import json
+import math
+import sys
+
+CELL_KEYS = (
+    "backend",
+    "workload",
+    "threads",
+    "key_range",
+    "throughput",
+    "abort_rate",
+    "committed",
+    "aborted",
+    "p50_us",
+    "p99_us",
+)
+BACKENDS = {"boosted", "rwstm", "tvar"}
+WORKLOADS = {"counter", "map", "transfer", "pqueue"}
+
+
+def fail(msg):
+    print(f"{sys.argv[1]}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    path = sys.argv[1]
+    require_all = "--require-all-backends" in sys.argv[2:]
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("name") != "arena":
+        fail(f'name is {doc.get("name")!r}, expected "arena"')
+    cells = doc.get("cells")
+    if not cells:
+        fail("no cells")
+
+    for i, cell in enumerate(cells):
+        for key in CELL_KEYS:
+            if key not in cell:
+                fail(f"cell {i} missing {key}")
+        if cell["backend"] not in BACKENDS:
+            fail(f'cell {i}: unknown backend {cell["backend"]!r}')
+        if cell["workload"] not in WORKLOADS:
+            fail(f'cell {i}: unknown workload {cell["workload"]!r}')
+        for key in ("threads", "key_range", "committed", "aborted"):
+            if not isinstance(cell[key], int) or cell[key] < 0:
+                fail(f"cell {i}: {key} = {cell[key]!r} not a non-negative int")
+        if cell["threads"] == 0 or cell["key_range"] == 0:
+            fail(f"cell {i}: zero threads or key_range")
+        for key in ("throughput", "abort_rate", "p50_us", "p99_us"):
+            v = cell[key]
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+                fail(f"cell {i}: {key} = {v!r} not finite and non-negative")
+        if cell["abort_rate"] > 1:
+            fail(f'cell {i}: abort_rate {cell["abort_rate"]} > 1')
+
+    if require_all:
+        seen_backends = {c["backend"] for c in cells}
+        seen_workloads = {c["workload"] for c in cells}
+        if seen_backends != BACKENDS:
+            fail(f"backends {sorted(seen_backends)} != {sorted(BACKENDS)}")
+        if seen_workloads != WORKLOADS:
+            fail(f"workloads {sorted(seen_workloads)} != {sorted(WORKLOADS)}")
+
+    print(f"{path}: {len(cells)} cells OK")
+
+
+if __name__ == "__main__":
+    main()
