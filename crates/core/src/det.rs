@@ -59,6 +59,16 @@ pub enum Point {
     StmWrite,
     /// An STM commit-time validation step.
     StmValidate,
+    /// A WAL commit record is about to be appended to a segment.
+    WalAppend,
+    /// The WAL flusher sealed a batch of pending commit records.
+    WalBatchSeal,
+    /// The WAL flusher is about to fsync the active segment.
+    WalFsync,
+    /// The active WAL segment reached its size cap and is rolling.
+    WalSegmentRoll,
+    /// WAL recovery is about to scan/replay one record.
+    WalRecoveryStep,
     /// A thread's body returned (recorded by the harness itself).
     Finish,
     /// A test-inserted yield (via [`yield_point`] from test code).

@@ -75,8 +75,8 @@ mod txn;
 pub use backoff::{Backoff, SpinWait};
 pub use error::{Abort, AbortReason, TxnError};
 pub use obs::{
-    ContentionRegistry, ContentionSnapshot, HistogramSnapshot, LatencyHistogram, LockLabel,
-    LockSiteSnapshot, LockSiteStats,
+    ContentionRegistry, ContentionSnapshot, DurabilityMetrics, DurabilitySnapshot,
+    HistogramSnapshot, LatencyHistogram, LockLabel, LockSiteSnapshot, LockSiteStats,
 };
 pub use stats::{TxnStats, TxnStatsSnapshot};
 pub use txn::{Savepoint, Txn, TxnConfig, TxnId, TxnManager, TxnState};

@@ -411,6 +411,91 @@ impl ContentionSnapshot {
     }
 }
 
+/// Durability (write-ahead-log) observability: append/fsync latency
+/// histograms plus throughput counters, shared between the server's
+/// worker threads (append side) and the group-commit flusher (fsync
+/// side). Like every other surface in this module, all updates are
+/// relaxed atomics — cheap enough to live on the commit path.
+#[derive(Debug, Default)]
+pub struct DurabilityMetrics {
+    /// Latency of appending one commit record to the active segment.
+    pub append_hist: LatencyHistogram,
+    /// Latency of one batched fsync (the group-commit stall).
+    pub fsync_hist: LatencyHistogram,
+    records: AtomicU64,
+    batches: AtomicU64,
+    bytes: AtomicU64,
+    segments_rolled: AtomicU64,
+    wal_errors: AtomicU64,
+}
+
+impl DurabilityMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        DurabilityMetrics::default()
+    }
+
+    /// Record one appended commit record of `bytes` encoded bytes.
+    #[inline]
+    pub fn record_append(&self, bytes: u64, latency: Duration) {
+        self.records.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.append_hist.record_duration(latency);
+    }
+
+    /// Record one group-commit batch made durable by a single fsync.
+    #[inline]
+    pub fn record_batch(&self, latency: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.fsync_hist.record_duration(latency);
+    }
+
+    /// Record a segment roll (the active segment hit its size cap).
+    #[inline]
+    pub fn record_segment_roll(&self) {
+        self.segments_rolled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a WAL storage error (the commit stays visible in memory;
+    /// the error is surfaced through stats rather than un-committing).
+    #[inline]
+    pub fn record_error(&self) {
+        self.wal_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters and histograms.
+    pub fn snapshot(&self) -> DurabilitySnapshot {
+        DurabilitySnapshot {
+            records: self.records.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            segments_rolled: self.segments_rolled.load(Ordering::Relaxed),
+            wal_errors: self.wal_errors.load(Ordering::Relaxed),
+            append: self.append_hist.snapshot(),
+            fsync: self.fsync_hist.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`DurabilityMetrics`].
+#[derive(Debug, Clone)]
+pub struct DurabilitySnapshot {
+    /// Commit records appended.
+    pub records: u64,
+    /// Group-commit batches fsynced.
+    pub batches: u64,
+    /// Encoded record bytes appended.
+    pub bytes: u64,
+    /// Segment rolls.
+    pub segments_rolled: u64,
+    /// Storage errors on the append/fsync path.
+    pub wal_errors: u64,
+    /// Append-latency histogram (nanoseconds).
+    pub append: HistogramSnapshot,
+    /// Fsync-latency histogram (nanoseconds).
+    pub fsync: HistogramSnapshot,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,8 @@
 //! Per-file structural analysis over the token stream: function
 //! extents, `#[cfg(test)]` regions, handler-closure regions
-//! (`log_undo` / `defer_on_commit` / `defer_on_abort` / the server's
-//! retry closure), and `// txboost-lint: allow(...)` suppressions.
+//! (`log_undo` / `defer_on_commit` / `defer_on_abort`, the server's
+//! retry closure, and the WAL's replay and flusher closures), and
+//! `// txboost-lint: allow(...)` suppressions.
 
 use crate::source::{lex, Comment, TokKind, Token};
 use std::collections::BTreeSet;
@@ -35,6 +36,15 @@ pub enum HandlerKind {
     DeferAbort,
     /// `tm.run(...)` — the server's retry closure (crates/server only).
     RetryClosure,
+    /// `log.replay(...)` — the WAL recovery replay closure
+    /// (crates/server and crates/wal): it rebuilds state after a
+    /// crash, so a panic there turns a survivable crash into a
+    /// permanent one.
+    WalReplay,
+    /// `.spawn(...)` in crates/wal — the group-commit flusher thread's
+    /// body: it is the only thread that can complete durability
+    /// tickets, so a panic strands every in-flight commit.
+    WalFlusher,
 }
 
 /// A handler region: the token-index range of a registration call's
@@ -218,6 +228,7 @@ impl FileAnalysis {
     fn find_handlers(&self) -> Vec<HandlerRegion> {
         let mut out = Vec::new();
         let in_server = self.path.contains("crates/server/");
+        let in_wal = self.path.contains("crates/wal/");
         for i in 0..self.tokens.len() {
             let t = &self.tokens[i];
             if t.kind != TokKind::Ident {
@@ -228,6 +239,8 @@ impl FileAnalysis {
                 "defer_on_commit" => HandlerKind::DeferCommit,
                 "defer_on_abort" => HandlerKind::DeferAbort,
                 "run" if in_server => HandlerKind::RetryClosure,
+                "replay" if in_server || in_wal => HandlerKind::WalReplay,
+                "spawn" if in_wal => HandlerKind::WalFlusher,
                 _ => continue,
             };
             // Must be a method call: `.name(` — this skips the
@@ -396,6 +409,21 @@ mod tests {
         let server = FileAnalysis::build("crates/server/src/exec.rs", src);
         assert_eq!(server.handlers.len(), 1);
         assert_eq!(server.handlers[0].kind, HandlerKind::RetryClosure);
+        let other = FileAnalysis::build("crates/boosted/src/x.rs", src);
+        assert!(other.handlers.is_empty());
+    }
+
+    #[test]
+    fn wal_replay_and_flusher_closures_only_count_in_wal_paths() {
+        let src = "fn f(&self) { log.replay(|r| apply(r)); b.spawn(|| loop {}); }";
+        let wal = FileAnalysis::build("crates/wal/src/group.rs", src);
+        let kinds: Vec<HandlerKind> = wal.handlers.iter().map(|h| h.kind).collect();
+        assert_eq!(kinds, vec![HandlerKind::WalReplay, HandlerKind::WalFlusher]);
+        // The server replays on boot too, but never spawns a flusher
+        // of its own.
+        let server = FileAnalysis::build("crates/server/src/lib.rs", src);
+        let kinds: Vec<HandlerKind> = server.handlers.iter().map(|h| h.kind).collect();
+        assert_eq!(kinds, vec![HandlerKind::WalReplay]);
         let other = FileAnalysis::build("crates/boosted/src/x.rs", src);
         assert!(other.handlers.is_empty());
     }

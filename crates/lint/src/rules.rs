@@ -158,6 +158,27 @@ const YIELD_SITES: &[(&str, &str, &[&str])] = &[
         "acquire_det",
         &["LockAcquire", "block_tick"],
     ),
+    (
+        "crates/wal/src/writer.rs",
+        "append_record_det",
+        &["WalAppend"],
+    ),
+    ("crates/wal/src/writer.rs", "sync_det", &["WalFsync"]),
+    (
+        "crates/wal/src/writer.rs",
+        "roll_segment_det",
+        &["WalSegmentRoll"],
+    ),
+    (
+        "crates/wal/src/group.rs",
+        "seal_batch_det",
+        &["WalBatchSeal"],
+    ),
+    (
+        "crates/wal/src/recover.rs",
+        "recovery_step_det",
+        &["WalRecoveryStep"],
+    ),
 ];
 
 /// Functions subject to the boosted-method rules: real (non-test)
@@ -400,6 +421,8 @@ fn handler_panic_audit(fa: &FileAnalysis, out: &mut RuleOutput) {
             HandlerKind::DeferCommit => "deferred commit action",
             HandlerKind::DeferAbort => "deferred abort action",
             HandlerKind::RetryClosure => "transaction retry closure",
+            HandlerKind::WalReplay => "WAL replay closure (the crash-recovery path)",
+            HandlerKind::WalFlusher => "WAL flusher loop (the only thread acking durability)",
         };
         for i in h.range.0..=h.range.1 {
             if method_call(fa, i, &["unwrap", "expect"]) {

@@ -1,0 +1,27 @@
+//! Fixture: panic-free WAL flusher and replay closures, with the
+//! batch-seal yield hook in place.
+
+pub struct GroupWal;
+
+impl GroupWal {
+    fn seal_batch_det(&self) {
+        det::yield_point(det::Point::WalBatchSeal);
+    }
+
+    pub fn spawn_flusher(&self) {
+        std::thread::Builder::new()
+            .name("flusher".into())
+            .spawn(move || loop {
+                if !self.flush_once() {
+                    break;
+                }
+            });
+    }
+
+    pub fn boot(&self, log: &RecoveredLog) {
+        log.replay(|record| match record.ops.first() {
+            Some(op) => self.apply(op),
+            None => true,
+        });
+    }
+}

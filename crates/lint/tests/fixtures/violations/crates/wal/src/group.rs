@@ -1,0 +1,26 @@
+//! Fixture: WAL closures that can panic where panics are fatal —
+//! inside the flusher thread and on the recovery replay path.
+
+pub struct GroupWal;
+
+impl GroupWal {
+    fn seal_batch_det(&self) {
+        det::yield_point(det::Point::WalBatchSeal);
+    }
+
+    pub fn spawn_flusher(&self) {
+        std::thread::Builder::new()
+            .name("flusher".into())
+            .spawn(move || loop {
+                let batch = self.seal().unwrap();
+                assert!(!batch.is_empty());
+            });
+    }
+
+    pub fn boot(&self, log: &RecoveredLog) {
+        log.replay(|record| {
+            let first = record.ops[0];
+            self.apply(first).expect("replay")
+        });
+    }
+}

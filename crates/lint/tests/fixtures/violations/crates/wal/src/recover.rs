@@ -1,0 +1,5 @@
+//! Fixture: the registered recovery yield site lost its hook.
+
+fn recovery_step_det() {
+    // nothing yields here
+}

@@ -11,12 +11,13 @@
 use crate::namespace::Namespace;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use txboost_core::{
     Abort, AbortReason, ContentionRegistry, HistogramSnapshot, LatencyHistogram, TxResult, Txn,
     TxnConfig, TxnError, TxnManager,
 };
+use txboost_wal::{GroupCommitWal, RecoveredRecord, Ticket};
 use txboost_wire::{op_name, Op, OpResult, ScriptOp, ScriptStatus, NUM_OPCODES};
 
 /// Outcome of executing one script server-side.
@@ -30,6 +31,12 @@ pub struct ScriptOutcome {
     pub failed_op: Option<u16>,
     /// Per-op results; empty unless committed.
     pub results: Vec<OpResult>,
+    /// Whether the commit record reached durable storage before the
+    /// reply: `Some(true)` for a WAL-logged commit whose fsync batch
+    /// completed, `Some(false)` if the WAL hit an I/O error (the
+    /// in-memory commit stands), `None` when no record was logged
+    /// (WAL off, read-only script, or not committed).
+    pub wal_durable: Option<bool>,
 }
 
 /// Connection-level counters, shared between the acceptors, the
@@ -59,6 +66,15 @@ pub struct Executor {
     /// Shared connection counters.
     pub conns: Arc<ConnMetrics>,
     started: Instant,
+    /// Group-commit WAL, attached after recovery (never re-attached).
+    /// While unset — including for the whole of recovery replay —
+    /// commits are not logged.
+    wal: OnceLock<Arc<GroupCommitWal>>,
+    /// Records replayed from the WAL at startup.
+    wal_replayed: AtomicU64,
+    /// Replayed records the executor rejected (a recovery bug or a
+    /// log/state divergence; counted, surfaced in stats, never fatal).
+    wal_replay_failures: AtomicU64,
 }
 
 impl Executor {
@@ -73,7 +89,42 @@ impl Executor {
             status_counts: Default::default(),
             conns: Arc::new(ConnMetrics::default()),
             started: Instant::now(),
+            wal: OnceLock::new(),
+            wal_replayed: AtomicU64::new(0),
+            wal_replay_failures: AtomicU64::new(0),
         }
+    }
+
+    /// Attach the group-commit WAL. Call once, *after* recovery
+    /// replay, so replaying old records does not re-log them.
+    pub fn attach_wal(&self, wal: Arc<GroupCommitWal>) {
+        let _ = self.wal.set(wal);
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<&Arc<GroupCommitWal>> {
+        self.wal.get()
+    }
+
+    /// Stop and join the WAL flusher (no-op when WAL is off). Call
+    /// after the workers have drained: everything they enqueued gets
+    /// flushed before this returns.
+    pub fn shutdown_wal(&self) {
+        if let Some(wal) = self.wal.get() {
+            wal.shutdown();
+        }
+    }
+
+    /// Re-execute one recovered WAL record; `true` if it committed
+    /// again. Recovery replays the committed prefix single-threaded
+    /// through this before the WAL is attached.
+    pub fn replay_record(&self, record: &RecoveredRecord) -> bool {
+        let ok = self.execute(&record.ops).status == ScriptStatus::Committed;
+        self.wal_replayed.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.wal_replay_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
     }
 
     /// The object namespace (tests seed state through it).
@@ -91,6 +142,15 @@ impl Executor {
         // immediately before raising the explicit abort the retry loop
         // treats as terminal.
         let failed: Cell<Option<(u16, bool)>> = Cell::new(None);
+        // WAL ticket for this script's commit record. The enqueue is
+        // the last statement of the transaction body: the abstract
+        // locks are still held there, so the LSN order assigned by the
+        // queue equals the serialization order, and since a boosted
+        // commit cannot fail after the body returns `Ok`, every
+        // enqueued record corresponds to a real commit. The ticket is
+        // awaited *after* `run` returns, with all locks released.
+        let wal_ticket: Cell<Option<Ticket>> = Cell::new(None);
+        let logs_wal = self.wal.get().is_some() && ops.iter().any(|sop| op_mutates(&sop.op));
         let run = self.tm.run(|txn| {
             attempts = attempts.saturating_add(1);
             results.clear();
@@ -109,6 +169,11 @@ impl Executor {
                     return Err(Abort::explicit());
                 }
                 results.push(r);
+            }
+            if logs_wal {
+                if let Some(wal) = self.wal.get() {
+                    wal_ticket.set(Some(wal.enqueue(ops)));
+                }
             }
             Ok(())
         });
@@ -134,6 +199,12 @@ impl Executor {
         if status != ScriptStatus::Committed {
             results.clear();
         }
+        // Group commit: block until the record's fsync batch is
+        // durable, so the client's acknowledgement implies durability.
+        let wal_durable = match wal_ticket.take() {
+            Some(ticket) if status == ScriptStatus::Committed => Some(ticket.wait()),
+            _ => None,
+        };
         self.script_hist.record_duration(t0.elapsed());
         self.status_counts[status_index(status)].fetch_add(1, Ordering::Relaxed);
         ScriptOutcome {
@@ -141,6 +212,7 @@ impl Executor {
             attempts,
             failed_op,
             results,
+            wal_durable,
         }
     }
 
@@ -283,6 +355,37 @@ impl Executor {
         );
         out.push('}');
 
+        if let Some(wal) = self.wal.get() {
+            let d = wal.metrics().snapshot();
+            out.push_str(",\"wal\":{");
+            push_kv_u64(&mut out, "records", d.records);
+            out.push(',');
+            push_kv_u64(&mut out, "batches", d.batches);
+            out.push(',');
+            push_kv_u64(&mut out, "bytes", d.bytes);
+            out.push(',');
+            push_kv_u64(&mut out, "segments_rolled", d.segments_rolled);
+            out.push(',');
+            push_kv_u64(&mut out, "errors", d.wal_errors);
+            out.push(',');
+            push_kv_u64(
+                &mut out,
+                "replayed",
+                self.wal_replayed.load(Ordering::Relaxed),
+            );
+            out.push(',');
+            push_kv_u64(
+                &mut out,
+                "replay_failures",
+                self.wal_replay_failures.load(Ordering::Relaxed),
+            );
+            out.push_str(",\"append\":");
+            push_hist(&mut out, &d.append);
+            out.push_str(",\"fsync\":");
+            push_hist(&mut out, &d.fsync);
+            out.push('}');
+        }
+
         let (maps, counters, sems, idgens, pqs) = self.ns.object_counts();
         out.push_str(",\"objects\":{");
         push_kv_u64(&mut out, "maps", maps as u64);
@@ -299,6 +402,16 @@ impl Executor {
         out.push('}');
         out
     }
+}
+
+/// Whether an op changes object state — only scripts containing at
+/// least one of these earn a WAL record. `DebugAbort` never commits,
+/// so it does not count.
+fn op_mutates(op: &Op) -> bool {
+    !matches!(
+        op,
+        Op::MapContains { .. } | Op::CounterGet { .. } | Op::DebugAbort
+    )
 }
 
 fn status_index(s: ScriptStatus) -> usize {
@@ -508,6 +621,62 @@ mod tests {
             json.matches('}').count(),
             "{json}"
         );
+    }
+
+    #[test]
+    fn wal_round_trip_logs_commits_and_replay_rebuilds_state() {
+        use txboost_wal::{recover, SimStorage, Storage, WalConfig};
+        let storage = Arc::new(SimStorage::new(0));
+        let e = exec();
+        let wal = Arc::new(
+            GroupCommitWal::new(
+                Arc::clone(&storage) as Arc<dyn Storage>,
+                &WalConfig::default(),
+                1,
+                Arc::new(txboost_core::DurabilityMetrics::new()),
+            )
+            .unwrap(),
+        );
+        wal.spawn_flusher().unwrap();
+        e.attach_wal(wal);
+
+        let committed = e.execute(&[op(Op::MapInsert {
+            obj: "m".into(),
+            key: 1,
+            val: 10,
+        })]);
+        assert_eq!(committed.status, ScriptStatus::Committed);
+        assert_eq!(committed.wal_durable, Some(true), "ack implies durable");
+
+        // Read-only scripts and failed scripts earn no record.
+        let read_only = e.execute(&[op(Op::MapContains {
+            obj: "m".into(),
+            key: 1,
+        })]);
+        assert_eq!(read_only.wal_durable, None);
+        let aborted = e.execute(&[
+            op(Op::MapInsert {
+                obj: "m".into(),
+                key: 2,
+                val: 2,
+            }),
+            op(Op::DebugAbort),
+        ]);
+        assert_eq!(aborted.status, ScriptStatus::DebugAborted);
+        assert_eq!(aborted.wal_durable, None);
+
+        assert!(e.stats_json().contains("\"wal\":{\"records\":1"));
+        e.shutdown_wal();
+
+        let log = recover(storage.as_ref()).unwrap();
+        assert_eq!(log.records.len(), 1, "exactly the committed script");
+        let e2 = exec();
+        assert_eq!(log.replay(|record| e2.replay_record(record)), 0);
+        let probe = e2.execute(&[op(Op::MapContains {
+            obj: "m".into(),
+            key: 1,
+        })]);
+        assert_eq!(probe.results, vec![OpResult::Bool(true)]);
     }
 
     #[test]

@@ -79,6 +79,32 @@ pub struct ServerConfig {
     /// How long a drain waits for a half-received frame before giving
     /// up on that connection.
     pub drain_grace: Duration,
+    /// Durable write-ahead logging; `None` (the default) runs the
+    /// classic in-memory server, byte-for-byte unchanged behaviour.
+    pub wal: Option<WalServerConfig>,
+}
+
+/// Write-ahead-log settings (the `--wal-dir` family of flags).
+#[derive(Debug, Clone)]
+pub struct WalServerConfig {
+    /// Segment directory. Recovered on bind; created if missing.
+    pub dir: std::path::PathBuf,
+    /// Group-commit batch cap (records per fsync).
+    pub batch_max: usize,
+    /// Segment size cap before rolling to a new file.
+    pub segment_bytes: u64,
+}
+
+impl WalServerConfig {
+    /// Defaults (batch 64, 16 MiB segments) for `dir`.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> WalServerConfig {
+        let defaults = txboost_wal::WalConfig::default();
+        WalServerConfig {
+            dir: dir.into(),
+            batch_max: defaults.batch_max,
+            segment_bytes: defaults.segment_bytes,
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -101,6 +127,7 @@ impl Default for ServerConfig {
             },
             poll_interval: Duration::from_millis(25),
             drain_grace: Duration::from_secs(2),
+            wal: None,
         }
     }
 }
@@ -185,6 +212,27 @@ impl Server {
             shutdown: AtomicBool::new(false),
             cfg: cfg.clone(),
         });
+
+        // Durability: recover + replay the committed prefix before any
+        // worker runs, then attach the group-commit WAL so new commits
+        // are logged (replay itself must not be).
+        if let Some(wal_cfg) = &cfg.wal {
+            let storage: Arc<dyn txboost_wal::Storage> =
+                Arc::new(txboost_wal::FileStorage::open(&wal_cfg.dir)?);
+            let recovered = txboost_wal::recover(storage.as_ref())?;
+            recovered.replay(|record| shared.exec.replay_record(record));
+            let wal = Arc::new(txboost_wal::GroupCommitWal::new(
+                storage,
+                &txboost_wal::WalConfig {
+                    batch_max: wal_cfg.batch_max,
+                    segment_bytes: wal_cfg.segment_bytes,
+                },
+                recovered.report.next_lsn,
+                Arc::new(txboost_core::DurabilityMetrics::new()),
+            )?);
+            wal.spawn_flusher()?;
+            shared.exec.attach_wal(wal);
+        }
 
         let mut worker_txs = Vec::with_capacity(cfg.workers.max(1));
         let mut workers = Vec::with_capacity(cfg.workers.max(1));
@@ -279,6 +327,10 @@ impl Server {
         for h in self.workers {
             let _ = h.join();
         }
+        // Workers are gone, so nothing enqueues anymore; flush what
+        // remains and join the flusher. (Every acknowledged request was
+        // already durable before its reply was written.)
+        self.shared.exec.shutdown_wal();
     }
 
     /// Block until a shutdown is requested (by a wire `Shutdown`

@@ -5,14 +5,21 @@
 //!                [--window N] [--max-frame BYTES]
 //!                [--lock-timeout-us N] [--max-retries N]
 //!                [--default-sem-permits N]
+//!                [--wal-dir PATH] [--wal-batch N] [--wal-segment-bytes N]
 //! ```
+//!
+//! With `--wal-dir` the server recovers and replays the write-ahead
+//! log in PATH before accepting connections, then logs every
+//! committed mutating script durably (group commit; replies are sent
+//! only after the record's fsync batch completes). Without it the
+//! server is the classic in-memory one.
 //!
 //! Runs until a wire `Shutdown` frame, SIGTERM, or SIGINT, then drains
 //! gracefully: in-flight transactions finish and get replies before
 //! the process exits 0.
 
 use std::time::Duration;
-use txboost_server::{Server, ServerConfig};
+use txboost_server::{Server, ServerConfig, WalServerConfig};
 
 fn main() {
     let mut cfg = ServerConfig::default();
@@ -38,11 +45,34 @@ fn main() {
             "--default-sem-permits" => {
                 cfg.default_sem_permits = val().parse().expect("bad --default-sem-permits");
             }
+            "--wal-dir" => {
+                let dir = val();
+                cfg.wal = Some(match cfg.wal.take() {
+                    Some(mut wal) => {
+                        wal.dir = dir.into();
+                        wal
+                    }
+                    None => WalServerConfig::new(dir),
+                });
+            }
+            "--wal-batch" => {
+                let batch = val().parse().expect("bad --wal-batch");
+                cfg.wal
+                    .get_or_insert_with(|| WalServerConfig::new("wal"))
+                    .batch_max = batch;
+            }
+            "--wal-segment-bytes" => {
+                let bytes = val().parse().expect("bad --wal-segment-bytes");
+                cfg.wal
+                    .get_or_insert_with(|| WalServerConfig::new("wal"))
+                    .segment_bytes = bytes;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: txboost-server [--addr HOST:PORT] [--workers N] [--acceptors N] \
                      [--window N] [--max-frame BYTES] [--lock-timeout-us N] [--max-retries N] \
-                     [--default-sem-permits N]"
+                     [--default-sem-permits N] [--wal-dir PATH] [--wal-batch N] \
+                     [--wal-segment-bytes N]"
                 );
                 return;
             }

@@ -1,0 +1,49 @@
+//! # txboost-wal — a durable *logical* log of boosted method calls
+//!
+//! Transactional boosting already maintains a logical log: the undo log
+//! records the *inverse* of every successful method call. This crate
+//! persists the *forward* calls of committed transactions, at the same
+//! abstract-method granularity — one compact record per committed
+//! script, not a page of dirty words.
+//!
+//! The moving parts:
+//!
+//! * **Record format** ([`record`](crate::MAGIC)) — a WAL record is a
+//!   length, a CRC32, a log sequence number, and the script's op list
+//!   in the `txboost-wire` encoding. Segments are append-only files
+//!   named by the first LSN they contain.
+//! * **Group commit** ([`GroupCommitWal`]) — worker threads enqueue
+//!   commit records and receive a [`Ticket`]; a dedicated flusher
+//!   drains the queue in batches, appends, fsyncs once per batch, and
+//!   only then completes the tickets. Clients are acknowledged after
+//!   their record is durable.
+//! * **Recovery** ([`recover`]) — scans the segment directory in LSN
+//!   order, truncates at the first torn or corrupt record, deletes
+//!   everything after the truncation point, and hands back the
+//!   committed prefix for single-threaded replay through the boosted
+//!   objects.
+//! * **Simulated storage** ([`SimStorage`]) — an in-memory [`Storage`]
+//!   with a kill switch that fails the Nth storage operation and
+//!   discards un-synced bytes (keeping a seed-derived torn prefix),
+//!   so the `txboost-sched` harness can crash the process image at
+//!   every tick and re-run recovery.
+//!
+//! Every decision point on the durability path (`append`, batch seal,
+//! `fsync`, segment roll, recovery step) is instrumented with
+//! `det::yield_point` behind the `deterministic` feature.
+
+#![warn(missing_docs)]
+
+mod crc;
+mod group;
+mod record;
+mod recover;
+mod storage;
+mod writer;
+
+pub use crc::crc32;
+pub use group::{GroupCommitWal, Ticket, WalConfig};
+pub use record::{MAGIC, MAX_PAYLOAD_LEN, RECORD_HEADER_LEN, SEGMENT_HEADER_LEN};
+pub use recover::{recover, rotate_below, RecoveredLog, RecoveredRecord, RecoveryReport};
+pub use storage::{FileStorage, SimStorage, Storage};
+pub use writer::Wal;

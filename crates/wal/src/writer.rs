@@ -1,0 +1,154 @@
+//! The single-writer append path: one active segment, size-based
+//! rolling, fsync on demand. Owned by the group-commit flusher; the
+//! `_det` suffix marks the functions instrumented with deterministic
+//! yield points (see the `yield-point-coverage` lint rule).
+
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+use txboost_core::DurabilityMetrics;
+
+use crate::record::{segment_header, SEGMENT_HEADER_LEN};
+use crate::storage::Storage;
+
+#[cfg(feature = "deterministic")]
+use txboost_core::det;
+
+/// Floor on the segment size cap. A record larger than the cap still
+/// fits — rolling only happens when the active segment already holds
+/// at least one record — so the floor exists only to keep pathological
+/// configs from making a segment per record header.
+pub(crate) const MIN_SEGMENT_BYTES: u64 = 256;
+
+/// Appends framed records to the active segment, rolling to a fresh
+/// segment when the size cap is reached. Exactly one writer exists
+/// per log — the group-commit flusher.
+pub struct Wal {
+    storage: Arc<dyn Storage>,
+    segment_bytes: u64,
+    active: u64,
+    active_len: u64,
+    metrics: Arc<DurabilityMetrics>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("segment_bytes", &self.segment_bytes)
+            .field("active", &self.active)
+            .field("active_len", &self.active_len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Wal {
+    /// Start writing at `first_lsn`: opens a brand-new active segment
+    /// named after it. Run [`recover`](crate::recover) first and pass
+    /// `report.next_lsn`; the writer never appends to a recovered
+    /// segment, so recovery's truncation decisions stay immutable.
+    pub fn create(
+        storage: Arc<dyn Storage>,
+        segment_bytes: u64,
+        first_lsn: u64,
+        metrics: Arc<DurabilityMetrics>,
+    ) -> io::Result<Wal> {
+        let mut wal = Wal {
+            storage,
+            segment_bytes: segment_bytes.max(MIN_SEGMENT_BYTES),
+            active: first_lsn,
+            active_len: 0,
+            metrics,
+        };
+        wal.open_segment(first_lsn)?;
+        Ok(wal)
+    }
+
+    /// Create the segment, write its header, and make both durable
+    /// before any record lands in it.
+    fn open_segment(&mut self, id: u64) -> io::Result<()> {
+        self.storage.create_segment(id)?;
+        let header = segment_header(id);
+        self.storage.append(id, &header)?;
+        self.storage.sync(id)?;
+        self.active = id;
+        self.active_len = header.len() as u64;
+        Ok(())
+    }
+
+    /// Append one framed record carrying `lsn`, rolling the segment
+    /// first if the cap would be exceeded. Does **not** sync.
+    pub fn append_record_det(&mut self, lsn: u64, frame: &[u8]) -> io::Result<()> {
+        #[cfg(feature = "deterministic")]
+        det::yield_point(det::Point::WalAppend);
+        if self.active_len + frame.len() as u64 > self.segment_bytes
+            && self.active_len > SEGMENT_HEADER_LEN as u64
+        {
+            self.roll_segment_det(lsn)?;
+        }
+        let start = Instant::now();
+        self.storage.append(self.active, frame)?;
+        self.active_len += frame.len() as u64;
+        self.metrics
+            .record_append(frame.len() as u64, start.elapsed());
+        Ok(())
+    }
+
+    /// Seal the active segment (final sync) and open a fresh one whose
+    /// first record will carry `first_lsn`.
+    pub fn roll_segment_det(&mut self, first_lsn: u64) -> io::Result<()> {
+        #[cfg(feature = "deterministic")]
+        det::yield_point(det::Point::WalSegmentRoll);
+        self.storage.sync(self.active)?;
+        self.open_segment(first_lsn)?;
+        self.metrics.record_segment_roll();
+        Ok(())
+    }
+
+    /// Fsync the active segment: everything appended so far is durable
+    /// when this returns.
+    pub fn sync_det(&mut self) -> io::Result<()> {
+        #[cfg(feature = "deterministic")]
+        det::yield_point(det::Point::WalFsync);
+        let start = Instant::now();
+        self.storage.sync(self.active)?;
+        self.metrics.record_batch(start.elapsed());
+        Ok(())
+    }
+
+    /// Id (= first LSN) of the active segment.
+    pub fn active_segment(&self) -> u64 {
+        self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::frame_record;
+    use crate::storage::SimStorage;
+
+    #[test]
+    fn rolls_when_the_cap_is_reached() {
+        let storage = Arc::new(SimStorage::new(0));
+        let metrics = Arc::new(DurabilityMetrics::new());
+        let mut wal = Wal::create(
+            Arc::clone(&storage) as Arc<dyn Storage>,
+            MIN_SEGMENT_BYTES,
+            1,
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let payload = vec![0xAB; 800];
+        for lsn in 1..=10u64 {
+            let frame = frame_record(lsn, &payload);
+            wal.append_record_det(lsn, &frame).unwrap();
+        }
+        wal.sync_det().unwrap();
+        let segs = storage.list_segments().unwrap();
+        assert!(segs.len() >= 2, "expected a roll, got {segs:?}");
+        assert_eq!(segs[0], 1);
+        assert!(wal.active_segment() > 1);
+        assert_eq!(metrics.snapshot().segments_rolled, segs.len() as u64 - 1);
+    }
+}

@@ -585,6 +585,42 @@ fn put_op(out: &mut Vec<u8>, sop: &ScriptOp) {
     }
 }
 
+/// Append an op list (`n_ops: u16` prefix, then each op) to `out` —
+/// the same encoding a [`Request::Script`] payload carries after its
+/// `req_id`. Public so other layers (the server's write-ahead log)
+/// can persist scripts in the wire format instead of inventing a
+/// second serialization.
+pub fn encode_ops(out: &mut Vec<u8>, ops: &[ScriptOp]) {
+    debug_assert!(ops.len() <= MAX_OPS_PER_SCRIPT as usize);
+    out.extend_from_slice(&(ops.len() as u16).to_le_bytes());
+    for sop in ops {
+        put_op(out, sop);
+    }
+}
+
+/// Decode a standalone op list produced by [`encode_ops`]. Enforces
+/// the [`MAX_OPS_PER_SCRIPT`] budget and rejects trailing bytes, so a
+/// corrupted record can never decode into something a valid encoder
+/// would not have produced.
+pub fn decode_ops(payload: &[u8]) -> Result<Vec<ScriptOp>, WireError> {
+    let mut r = Reader::new(payload);
+    let ops = read_ops(&mut r)?;
+    r.finish()?;
+    Ok(ops)
+}
+
+fn read_ops(r: &mut Reader<'_>) -> Result<Vec<ScriptOp>, WireError> {
+    let n = r.u16()?;
+    if n > MAX_OPS_PER_SCRIPT {
+        return Err(WireError::TooManyOps(n));
+    }
+    let mut ops = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        ops.push(read_op(r)?);
+    }
+    Ok(ops)
+}
+
 /// Encode a request into a frame payload.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
@@ -592,10 +628,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Script { req_id, ops } => {
             out.push(0x01);
             out.extend_from_slice(&req_id.to_le_bytes());
-            out.extend_from_slice(&(ops.len() as u16).to_le_bytes());
-            for sop in ops {
-                put_op(&mut out, sop);
-            }
+            encode_ops(&mut out, ops);
         }
         Request::Stats { req_id } => {
             out.push(0x02);
@@ -785,14 +818,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
     let req = match kind {
         0x01 => {
             let req_id = r.u64()?;
-            let n = r.u16()?;
-            if n > MAX_OPS_PER_SCRIPT {
-                return Err(WireError::TooManyOps(n));
-            }
-            let mut ops = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                ops.push(read_op(&mut r)?);
-            }
+            let ops = read_ops(&mut r)?;
             Request::Script { req_id, ops }
         }
         0x02 => Request::Stats { req_id: r.u64()? },
@@ -1095,6 +1121,28 @@ mod tests {
         buf.push(2);
         buf.extend_from_slice(&[0xFF, 0xFE]);
         assert!(matches!(decode_request(&buf), Err(WireError::BadName)));
+    }
+
+    #[test]
+    fn standalone_op_lists_round_trip() {
+        let ops = sample_ops();
+        let mut enc = Vec::new();
+        encode_ops(&mut enc, &ops);
+        assert_eq!(decode_ops(&enc).unwrap(), ops);
+        // Every strict prefix fails cleanly, trailing bytes are
+        // rejected, and the op budget holds — the same hardening the
+        // request decoder has, since WAL records reuse this path.
+        for cut in 0..enc.len() {
+            assert!(decode_ops(&enc[..cut]).is_err(), "prefix {cut} passed");
+        }
+        enc.push(0);
+        assert!(matches!(decode_ops(&enc), Err(WireError::TrailingBytes)));
+        let mut over = Vec::new();
+        over.extend_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_ops(&over),
+            Err(WireError::TooManyOps(n)) if n == u16::MAX
+        ));
     }
 
     #[test]

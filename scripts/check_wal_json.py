@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Structural schema check for BENCH_wal.json.
+
+Used by two CI consumers: the `wal-crash` job validates the JSON a
+fresh short wal_bench run just emitted, and the committed baseline
+under bench_results/ is validated the same way. Checks structure plus
+(optionally) the group-commit gate: with `--gate R` the wal_b64 series
+must be within R-times the WAL-off throughput, mirroring the binary's
+own --assert-gate so a stale committed baseline can't hide a
+regression.
+
+Usage: check_wal_json.py PATH [--gate RATIO]
+"""
+
+import json
+import math
+import sys
+
+POINT_KEYS = (
+    "label",
+    "threads",
+    "throughput",
+    "committed",
+    "aborted",
+    "p50_us",
+    "p99_us",
+)
+LABELS = ["wal_off", "wal_b1", "wal_b8", "wal_b64"]
+
+
+def fail(msg):
+    print(f"{sys.argv[1]}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    path = sys.argv[1]
+    gate = None
+    rest = sys.argv[2:]
+    if rest and rest[0] == "--gate":
+        if len(rest) < 2:
+            fail("--gate needs a ratio")
+        gate = float(rest[1])
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("name") != "wal":
+        fail(f'name is {doc.get("name")!r}, expected "wal"')
+    series = doc.get("series")
+    if not series:
+        fail("no series")
+    if [p.get("label") for p in series] != LABELS:
+        fail(f"labels {[p.get('label') for p in series]} != {LABELS}")
+
+    for i, point in enumerate(series):
+        for key in POINT_KEYS:
+            if key not in point:
+                fail(f"series {i} missing {key}")
+        for key in ("threads", "committed", "aborted"):
+            if not isinstance(point[key], int) or point[key] < 0:
+                fail(f"series {i}: {key} = {point[key]!r} not a non-negative int")
+        if point["threads"] == 0:
+            fail(f"series {i}: zero threads")
+        if point["committed"] == 0:
+            fail(f'series {i} ({point["label"]}): made no progress')
+        for key in ("throughput", "p50_us", "p99_us"):
+            v = point[key]
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+                fail(f"series {i}: {key} = {v!r} not finite and non-negative")
+
+    if gate is not None:
+        off = series[0]["throughput"]
+        b64 = series[3]["throughput"]
+        if b64 <= 0:
+            fail("wal_b64 throughput is zero")
+        ratio = off / b64
+        if ratio > gate:
+            fail(
+                f"group commit at batch 64 is {ratio:.2f}x slower than "
+                f"WAL-off (allowed: {gate:.2f}x)"
+            )
+        print(f"{path}: gate ok ({ratio:.2f}x <= {gate:.2f}x)")
+
+    print(f"{path}: {len(series)} series OK")
+
+
+if __name__ == "__main__":
+    main()
