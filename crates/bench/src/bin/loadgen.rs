@@ -15,6 +15,12 @@
 //! kind plus a `total` row) for CI to assert on. `--shutdown` sends a
 //! wire shutdown frame when done, so a smoke test can drive the full
 //! server lifecycle from this one binary.
+//!
+//! The `rscan` kind is the read mix's snapshot twin: the same lookups
+//! as `read`, but sent as a `ReadOnlyScript` frame, so the server
+//! answers from the multi-version read path (no locks, no retry loop,
+//! no WAL). A read-mostly wire comparison is one flag away:
+//! `--mix read:95,transfer:5` vs `--mix rscan:95,transfer:5`.
 
 use rand::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -23,10 +29,9 @@ use std::time::{Duration, Instant};
 use txboost_bench::report::{BenchReport, SeriesPoint};
 use txboost_client::{Connection, ScriptBuilder};
 use txboost_core::LatencyHistogram;
-use txboost_wire::ScriptOp;
 
 /// The script kinds the mix can mention, in fixed order.
-const KINDS: [&str; 5] = ["transfer", "read", "counter", "pq", "idgen"];
+const KINDS: [&str; 6] = ["transfer", "read", "counter", "pq", "idgen", "rscan"];
 
 #[derive(Debug)]
 struct Args {
@@ -36,14 +41,14 @@ struct Args {
     keys: i64,
     skew: f64,
     /// Weight per entry of `KINDS`.
-    mix: [u32; 5],
+    mix: [u32; 6],
     out_dir: Option<String>,
     seed: u64,
     shutdown: bool,
 }
 
-fn parse_mix(spec: &str) -> [u32; 5] {
-    let mut mix = [0u32; 5];
+fn parse_mix(spec: &str) -> [u32; 6] {
+    let mut mix = [0u32; 6];
     for part in spec.split(',') {
         let (name, weight) = part
             .split_once(':')
@@ -118,7 +123,7 @@ fn pick_key(rng: &mut StdRng, keys: i64, skew: f64) -> i64 {
 }
 
 /// Build one script of the given kind.
-fn build_script(kind: usize, rng: &mut StdRng, keys: i64, skew: f64) -> Vec<ScriptOp> {
+fn build_script(kind: usize, rng: &mut StdRng, keys: i64, skew: f64) -> ScriptBuilder {
     let a = pick_key(rng, keys, skew);
     let b = pick_key(rng, keys, skew);
     match KINDS[kind] {
@@ -126,28 +131,31 @@ fn build_script(kind: usize, rng: &mut StdRng, keys: i64, skew: f64) -> Vec<Scri
         // locking and undo without depending on pre-population.
         "transfer" => ScriptBuilder::new()
             .map_remove("accounts", a)
-            .map_insert("accounts", b, a)
-            .build(),
+            .map_insert("accounts", b, a),
         "read" => ScriptBuilder::new()
             .map_contains("accounts", a)
-            .map_contains("accounts", b)
-            .build(),
-        "counter" => ScriptBuilder::new().counter_add("hits", 1).build(),
+            .map_contains("accounts", b),
+        "counter" => ScriptBuilder::new().counter_add("hits", 1),
         "pq" => ScriptBuilder::new()
             .pq_add("queue", a)
-            .pq_remove_min("queue")
-            .build(),
-        "idgen" => ScriptBuilder::new().id_gen("ids").build(),
+            .pq_remove_min("queue"),
+        "idgen" => ScriptBuilder::new().id_gen("ids"),
+        // The `read` lookups as a snapshot: served lock-free from the
+        // version chains, immune to writer contention.
+        "rscan" => ScriptBuilder::new()
+            .read_only()
+            .map_contains("accounts", a)
+            .map_contains("accounts", b),
         _ => unreachable!(),
     }
 }
 
 /// Per-kind shared counters and latency histograms.
 struct Tally {
-    committed: [AtomicU64; 5],
-    aborted: [AtomicU64; 5],
+    committed: [AtomicU64; 6],
+    aborted: [AtomicU64; 6],
     errors: AtomicU64,
-    hist: [LatencyHistogram; 5],
+    hist: [LatencyHistogram; 6],
 }
 
 impl Tally {
@@ -201,7 +209,7 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
             while !stop.load(Ordering::Relaxed) {
                 let mut roll = rng.random_range(0..total_weight);
-                let kind = (0..5)
+                let kind = (0..KINDS.len())
                     .find(|&k| {
                         if roll < mix[k] {
                             true
@@ -213,7 +221,7 @@ fn main() {
                     .unwrap_or(0);
                 let script = build_script(kind, &mut rng, keys, skew);
                 let t0 = Instant::now();
-                match conn.execute(script) {
+                match conn.run(script) {
                     Ok(outcome) => {
                         tally.hist[kind].record_duration(t0.elapsed());
                         let slot = if outcome.committed() {

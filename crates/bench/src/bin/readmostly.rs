@@ -1,0 +1,146 @@
+//! Read-mostly ladder runner: snapshot reads vs locked reads.
+//!
+//! ```text
+//! readmostly [--out-dir bench_results] [--no-json] [--duration-ms N]
+//!            [--threads 1,4,8,16,32] [--read-pct 95] [--key-range N]
+//! ```
+//!
+//! For every thread count the same 95/5 read/write mix runs twice —
+//! once with reads as ordinary locked transactions, once as snapshot
+//! read-only transactions — and both land in `BENCH_readmostly.json`
+//! as `locked` / `readonly` series points. CI's smoke run gates on the
+//! snapshot series winning at the top of the ladder (the whole point
+//! of the multi-version read path); the committed baseline is checked
+//! with the same script so a stale file cannot hide a regression.
+
+use std::time::Duration;
+use txboost_bench::readmostly::{run, ReadMostlyConfig, ReadPath};
+use txboost_bench::report::{BenchReport, SeriesPoint};
+
+struct Args {
+    out_dir: Option<String>,
+    duration: Duration,
+    threads: Vec<usize>,
+    read_pct: u32,
+    key_range: i64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out_dir: Some("bench_results".into()),
+        duration: Duration::from_millis(400),
+        threads: vec![1, 4, 8, 16, 32],
+        read_pct: 95,
+        key_range: 512,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--out-dir" => args.out_dir = Some(val()),
+            "--no-json" => args.out_dir = None,
+            "--duration-ms" => args.duration = Duration::from_millis(val().parse().expect("ms")),
+            "--threads" => {
+                args.threads = val()
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("thread count"))
+                    .collect();
+                assert!(!args.threads.is_empty(), "--threads needs at least one");
+            }
+            "--read-pct" => {
+                args.read_pct = val().parse().expect("percentage");
+                assert!(args.read_pct <= 100, "--read-pct is a percentage");
+            }
+            "--key-range" => args.key_range = val().parse().expect("key range"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: readmostly [--out-dir DIR | --no-json] [--duration-ms N] \
+                     [--threads 1,4,16] [--read-pct 95] [--key-range N]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "read-mostly ladder ({}% reads, {} keys, {} ms per cell)",
+        args.read_pct,
+        args.key_range,
+        args.duration.as_millis()
+    );
+    println!(
+        "  {:<9} {:>7} {:>14} {:>10} {:>9} {:>9} {:>9}",
+        "series", "threads", "txns/s", "committed", "aborted", "p50 µs", "p99 µs"
+    );
+
+    let mut report = BenchReport::new("readmostly");
+    let mut ro_errors = 0u64;
+    for &threads in &args.threads {
+        let cfg = ReadMostlyConfig {
+            threads,
+            duration: args.duration,
+            key_range: args.key_range,
+            read_pct: args.read_pct,
+            ..ReadMostlyConfig::default()
+        };
+        let mut pair = Vec::new();
+        for (path, label) in [
+            (ReadPath::Locked, "locked"),
+            (ReadPath::Snapshot, "readonly"),
+        ] {
+            let r = run(path, &cfg);
+            println!(
+                "  {:<9} {:>7} {:>14.0} {:>10} {:>9} {:>9.1} {:>9.1}",
+                label, threads, r.throughput, r.committed, r.aborted, r.p50_us, r.p99_us
+            );
+            ro_errors += r.read_only_errors;
+            pair.push(r.throughput);
+            report.push(SeriesPoint {
+                label: label.to_string(),
+                threads,
+                throughput: r.throughput,
+                committed: r.committed,
+                aborted: r.aborted,
+                p50_us: r.p50_us,
+                p99_us: r.p99_us,
+            });
+        }
+        println!(
+            "  {:<9} {:>7} {:>13.2}x",
+            "speedup",
+            threads,
+            pair[1] / pair[0]
+        );
+    }
+
+    // Structural invariant, not a performance gate: the snapshot
+    // protocol cannot abort, so a read-only error at any thread count
+    // is a bug regardless of how the throughput race went.
+    assert_eq!(ro_errors, 0, "read-only transactions must never fail");
+
+    if let Some(dir) = args.out_dir {
+        report
+            .meta("read_pct", args.read_pct.to_string())
+            .meta("key_range", args.key_range.to_string())
+            .meta("duration_ms", args.duration.as_millis().to_string())
+            .meta("read_only_errors", ro_errors.to_string())
+            .meta(
+                "profile",
+                if cfg!(debug_assertions) {
+                    "dev"
+                } else {
+                    "release"
+                },
+            );
+        let path = report.write(&dir).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

@@ -33,6 +33,7 @@
 //! paper's regime.
 
 pub mod arena;
+pub mod readmostly;
 pub mod report;
 
 use rand::prelude::*;

@@ -11,7 +11,8 @@
 
 use std::sync::Arc;
 use txboost_core::locks::TxRwLock;
-use txboost_core::{TxResult, Txn};
+use txboost_core::mvcc::MvccDomain;
+use txboost_core::{DeltaChain, TxResult, Txn, DEFAULT_CHAIN_BOUND};
 use txboost_linearizable::StripedCounter;
 
 /// A transactional signed counter boosted from the striped counter.
@@ -19,6 +20,10 @@ use txboost_linearizable::StripedCounter;
 pub struct BoostedCounter {
     base: Arc<StripedCounter>,
     lock: Arc<TxRwLock>,
+    /// Committed-delta chain serving read-only snapshot transactions.
+    /// Deltas, not full values: concurrent shared-mode adders commit
+    /// independently, so no single committer knows the whole value.
+    deltas: Arc<DeltaChain>,
 }
 
 impl Default for BoostedCounter {
@@ -33,6 +38,7 @@ impl BoostedCounter {
         BoostedCounter {
             base: Arc::new(StripedCounter::default()),
             lock: Arc::new(TxRwLock::new()),
+            deltas: Arc::new(DeltaChain::new(MvccDomain::global(), DEFAULT_CHAIN_BOUND)),
         }
     }
 
@@ -45,6 +51,7 @@ impl BoostedCounter {
         BoostedCounter {
             base: Arc::new(StripedCounter::default()),
             lock: Arc::new(TxRwLock::labeled(object, registry)),
+            deltas: Arc::new(DeltaChain::new(MvccDomain::global(), DEFAULT_CHAIN_BOUND)),
         }
     }
 
@@ -55,12 +62,19 @@ impl BoostedCounter {
         self.base.add(n);
         let base = Arc::clone(&self.base);
         txn.log_undo(move || base.add(-n));
+        let deltas = Arc::clone(&self.deltas);
+        txn.log_version_install(move || deltas.install_current(n));
         Ok(())
     }
 
     /// Transactionally read the value. Exclusive-mode lock (a read
     /// does not commute with concurrent increments); no inverse.
+    /// Read-only snapshot transactions instead sum the committed
+    /// delta chain at their snapshot timestamp — no lock, no abort.
     pub fn get(&self, txn: &Txn) -> TxResult<i64> {
+        if let Some(ts) = txn.snapshot_ts() {
+            return Ok(self.deltas.read_at(ts));
+        }
         self.lock.write_lock(txn)?;
         Ok(self.base.sum())
     }
@@ -123,6 +137,28 @@ mod tests {
         .unwrap();
         assert_eq!(c.peek(), 4000);
         assert_eq!(tm.stats().snapshot().aborted, 0);
+    }
+
+    #[test]
+    fn read_only_get_needs_no_lock_and_sums_committed_deltas() {
+        let tm = TxnManager::new(TxnConfig {
+            lock_timeout: std::time::Duration::from_millis(5),
+            max_retries: Some(0),
+            ..TxnConfig::default()
+        });
+        let c = BoostedCounter::new();
+        tm.run(|t| c.add(t, 5)).unwrap();
+        tm.run(|t| c.add(t, 7)).unwrap();
+        // An in-flight adder holds the shared lock: a locked get would
+        // time out, the snapshot get must not — and must not see the
+        // uncommitted +100.
+        let adder = tm.begin();
+        c.add(&adder, 100).unwrap();
+        assert_eq!(tm.run_read_only(|t| c.get(t)).unwrap(), 12);
+        let r = tm.run_read_only(|t| c.add(t, 1));
+        assert!(matches!(r, Err(txboost_core::TxnError::ReadOnlyViolation)));
+        tm.commit(adder);
+        assert_eq!(tm.run_read_only(|t| c.get(t)).unwrap(), 112);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use std::hash::Hash;
 use std::sync::Arc;
 use txboost_core::locks::KeyLockMap;
-use txboost_core::{TxResult, Txn};
+use txboost_core::{TxResult, Txn, VersionStore};
 use txboost_linearizable::StripedHashMap;
 
 /// A transactional key-value map boosted from the striped hash map.
@@ -36,6 +36,10 @@ use txboost_linearizable::StripedHashMap;
 pub struct BoostedHashMap<K: 'static, V: 'static> {
     base: Arc<StripedHashMap<K, V>>,
     locks: KeyLockMap<K>,
+    /// Per-key committed-version chains serving read-only snapshot
+    /// transactions (see `txboost_core::mvcc`). Fed by commit-time
+    /// installs logged in `put`/`remove`.
+    versions: Arc<VersionStore<K, V>>,
 }
 
 impl<K, V> Default for BoostedHashMap<K, V>
@@ -58,6 +62,7 @@ where
         BoostedHashMap {
             base: Arc::new(StripedHashMap::new()),
             locks: KeyLockMap::new(),
+            versions: Arc::new(VersionStore::new_global()),
         }
     }
 
@@ -70,6 +75,7 @@ where
         BoostedHashMap {
             base: Arc::new(StripedHashMap::new()),
             locks: KeyLockMap::labeled(object, registry),
+            versions: Arc::new(VersionStore::new_global()),
         }
     }
 
@@ -78,20 +84,28 @@ where
     /// value, or remove the key if it was absent).
     pub fn put(&self, txn: &Txn, key: K, value: V) -> TxResult<Option<V>> {
         self.locks.lock(txn, &key)?;
-        let previous = self.base.insert(key.clone(), value);
+        let previous = self.base.insert(key.clone(), value.clone());
         let base = Arc::clone(&self.base);
         // Branch *outside* the inverse so each logged closure captures
         // only what its arm needs — `(Arc, K, V)` or `(Arc, K)` instead
         // of `(Arc, K, Option<V>)` — keeping word-sized captures within
         // the undo log's inline-slot budget (no heap allocation).
         match previous.clone() {
-            Some(old) => txn.log_undo(move || {
-                base.insert(key, old);
-            }),
-            None => txn.log_undo(move || {
-                base.remove(&key);
-            }),
+            Some(old) => {
+                let k = key.clone();
+                txn.log_undo(move || {
+                    base.insert(k, old);
+                });
+            }
+            None => {
+                let k = key.clone();
+                txn.log_undo(move || {
+                    base.remove(&k);
+                });
+            }
         }
+        let versions = Arc::clone(&self.versions);
+        txn.log_version_install(move || versions.install(key, Some(value)));
         Ok(previous)
     }
 
@@ -102,10 +116,15 @@ where
         let removed = self.base.remove(key);
         if let Some(old) = removed.clone() {
             let base = Arc::clone(&self.base);
-            let key = key.clone();
+            let k = key.clone();
             txn.log_undo(move || {
-                base.insert(key, old);
+                base.insert(k, old);
             });
+            // A tombstone only when something was actually removed: a
+            // remove of an absent key changes no committed state.
+            let versions = Arc::clone(&self.versions);
+            let key = key.clone();
+            txn.log_version_install(move || versions.install(key, None));
         }
         Ok(removed)
     }
@@ -114,12 +133,20 @@ where
     /// abstract lock still serializes against concurrent mutators of
     /// the same key, per Rule 2).
     pub fn get(&self, txn: &Txn, key: &K) -> TxResult<Option<V>> {
+        // Read-only snapshot transactions read the version chain at
+        // their snapshot timestamp: no lock, no blocking, no abort.
+        if let Some(ts) = txn.snapshot_ts() {
+            return Ok(self.versions.read_at(key, ts));
+        }
         self.locks.lock(txn, key)?;
         Ok(self.base.get(key))
     }
 
     /// Transactionally test for `key`.
     pub fn contains_key(&self, txn: &Txn, key: &K) -> TxResult<bool> {
+        if let Some(ts) = txn.snapshot_ts() {
+            return Ok(self.versions.read_at(key, ts).is_some());
+        }
         self.locks.lock(txn, key)?;
         Ok(self.base.contains_key(key))
     }
@@ -207,6 +234,44 @@ mod tests {
         let snap = tm.stats().snapshot();
         assert_eq!(snap.aborted, 0);
         assert_eq!(m.len(), 1600);
+    }
+
+    #[test]
+    fn read_only_txn_reads_committed_state_without_locks() {
+        let tm = tm_noretry();
+        let m = BoostedHashMap::new();
+        tm.run(|t| m.put(t, "k", 1)).unwrap();
+        // A writer holds key "k"'s abstract lock across the read-only
+        // transaction; a locked read would time out, a snapshot read
+        // must not.
+        let writer = tm.begin();
+        m.put(&writer, "k", 2).unwrap();
+        let seen = tm.run_read_only(|t| m.get(t, &"k")).unwrap();
+        assert_eq!(seen, Some(1), "must read the committed version");
+        assert!(tm.run_read_only(|t| m.contains_key(t, &"k")).unwrap());
+        tm.commit(writer);
+        assert_eq!(tm.run_read_only(|t| m.get(t, &"k")).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn read_only_txn_sees_removes_as_absent() {
+        let tm = TxnManager::default();
+        let m = BoostedHashMap::new();
+        tm.run(|t| m.put(t, 1, "x")).unwrap();
+        tm.run(|t| m.remove(t, &1).map(|_| ())).unwrap();
+        assert_eq!(tm.run_read_only(|t| m.get(t, &1)).unwrap(), None);
+        assert!(!tm.run_read_only(|t| m.contains_key(t, &1)).unwrap());
+    }
+
+    #[test]
+    fn read_only_txn_rejects_mutations() {
+        let tm = TxnManager::default();
+        let m = BoostedHashMap::new();
+        let r = tm.run_read_only(|t| m.put(t, 1, 1));
+        assert!(matches!(r, Err(txboost_core::TxnError::ReadOnlyViolation)));
+        let r = tm.run_read_only(|t| m.remove(t, &1));
+        assert!(matches!(r, Err(txboost_core::TxnError::ReadOnlyViolation)));
+        assert_eq!(m.len(), 0);
     }
 
     #[test]

@@ -76,6 +76,11 @@ impl TSemaphore {
     /// transaction with [`Abort::would_block`] — the conditional-
     /// synchronization analogue of deadlock recovery.
     pub fn acquire(&self, txn: &Txn) -> TxResult<()> {
+        // Taking a permit mutates abstract state; read-only snapshot
+        // transactions are rejected with a typed, non-retried error.
+        if txn.is_read_only() {
+            return Err(Abort::read_only_violation());
+        }
         #[cfg(feature = "deterministic")]
         if txboost_core::det::active() {
             return self.acquire_det(txn);
@@ -137,6 +142,9 @@ impl TSemaphore {
     /// Non-blocking variant of [`TSemaphore::acquire`]: aborts the
     /// transaction immediately if no permit is available.
     pub fn try_acquire(&self, txn: &Txn) -> TxResult<()> {
+        if txn.is_read_only() {
+            return Err(Abort::read_only_violation());
+        }
         let mut count = self.inner.count.lock();
         if *count == 0 {
             return Err(Abort::would_block());

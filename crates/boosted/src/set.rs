@@ -4,7 +4,7 @@
 use std::hash::Hash;
 use std::sync::Arc;
 use txboost_core::locks::{KeyLockMap, TxMutex};
-use txboost_core::{ContentionRegistry, TxResult, Txn};
+use txboost_core::{ContentionRegistry, TxResult, Txn, VersionStore};
 use txboost_linearizable::{LazySkipListSet, LockCouplingList};
 
 /// The abstract-lock discipline for a boosted set.
@@ -33,6 +33,9 @@ macro_rules! boosted_set {
         pub struct $name<K: 'static> {
             base: Arc<$base<K>>,
             locks: SetLocks<K>,
+            /// Per-key membership version chains (`Some(())` present,
+            /// `None` absent) serving read-only snapshot transactions.
+            versions: Arc<VersionStore<K, ()>>,
         }
 
         impl<K: $base_bound + Hash + Eq + Clone + Send + Sync + 'static> Default for $name<K> {
@@ -48,6 +51,7 @@ macro_rules! boosted_set {
                 Self {
                     base: Arc::new($base::new()),
                     locks: SetLocks::PerKey(KeyLockMap::new()),
+                    versions: Arc::new(VersionStore::new_global()),
                 }
             }
 
@@ -58,6 +62,7 @@ macro_rules! boosted_set {
                 Self {
                     base: Arc::new($base::new()),
                     locks: SetLocks::Coarse(TxMutex::new()),
+                    versions: Arc::new(VersionStore::new_global()),
                 }
             }
 
@@ -70,6 +75,7 @@ macro_rules! boosted_set {
                 Self {
                     base: Arc::new($base::new()),
                     locks: SetLocks::PerKey(KeyLockMap::labeled(object, registry)),
+                    versions: Arc::new(VersionStore::new_global()),
                 }
             }
 
@@ -82,6 +88,7 @@ macro_rules! boosted_set {
                 Self {
                     base: Arc::new($base::new()),
                     locks: SetLocks::Coarse(TxMutex::labeled(object, registry)),
+                    versions: Arc::new(VersionStore::new_global()),
                 }
             }
 
@@ -102,9 +109,12 @@ macro_rules! boosted_set {
                 let result = self.base.add(key.clone());
                 if result {
                     let base = Arc::clone(&self.base);
+                    let k = key.clone();
                     txn.log_undo(move || {
-                        base.remove(&key);
+                        base.remove(&k);
                     });
+                    let versions = Arc::clone(&self.versions);
+                    txn.log_version_install(move || versions.install(key, Some(())));
                 }
                 Ok(result)
             }
@@ -116,10 +126,13 @@ macro_rules! boosted_set {
                 let result = self.base.remove(key);
                 if result {
                     let base = Arc::clone(&self.base);
-                    let key = key.clone();
+                    let k = key.clone();
                     txn.log_undo(move || {
-                        base.add(key);
+                        base.add(k);
                     });
+                    let versions = Arc::clone(&self.versions);
+                    let key = key.clone();
+                    txn.log_version_install(move || versions.install(key, None));
                 }
                 Ok(result)
             }
@@ -130,6 +143,11 @@ macro_rules! boosted_set {
             /// `add`/`remove` of the same key cannot run concurrently
             /// (Rule 2).
             pub fn contains(&self, txn: &Txn, key: &K) -> TxResult<bool> {
+                // Read-only snapshot transactions consult the version
+                // chain at their snapshot timestamp: no lock, no abort.
+                if let Some(ts) = txn.snapshot_ts() {
+                    return Ok(self.versions.read_at(key, ts).is_some());
+                }
                 self.locks.lock(txn, key)?;
                 Ok(self.base.contains(key))
             }
@@ -268,6 +286,25 @@ mod tests {
         assert_eq!(snap.committed, 1600);
         assert_eq!(snap.aborted, 0, "disjoint-key transactions aborted");
         assert_eq!(s.len(), 1600);
+    }
+
+    #[test]
+    fn read_only_contains_sees_committed_membership_without_locks() {
+        let tm = tm_noretry();
+        let s = BoostedSkipListSet::new();
+        tm.run(|t| s.add(t, 3)).unwrap();
+        tm.run(|t| s.add(t, 4)).unwrap();
+        tm.run(|t| s.remove(t, &4).map(|_| ())).unwrap();
+        // A writer holds key 3's abstract lock; the snapshot read
+        // neither blocks nor aborts.
+        let writer = tm.begin();
+        s.remove(&writer, &3).unwrap();
+        assert!(tm.run_read_only(|t| s.contains(t, &3)).unwrap());
+        assert!(!tm.run_read_only(|t| s.contains(t, &4)).unwrap());
+        let r = tm.run_read_only(|t| s.add(t, 9));
+        assert!(matches!(r, Err(txboost_core::TxnError::ReadOnlyViolation)));
+        tm.commit(writer);
+        assert!(!tm.run_read_only(|t| s.contains(t, &3)).unwrap());
     }
 
     #[test]

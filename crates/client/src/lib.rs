@@ -111,12 +111,28 @@ impl Outcome {
 #[derive(Debug, Default, Clone)]
 pub struct ScriptBuilder {
     ops: Vec<ScriptOp>,
+    read_only: bool,
 }
 
 impl ScriptBuilder {
     /// An empty script.
     pub fn new() -> Self {
         ScriptBuilder::default()
+    }
+
+    /// Mark the script **read-only**: [`Connection::run`] sends it as a
+    /// [`Request::ReadOnlyScript`], which the server executes as an
+    /// abort-free snapshot transaction — no abstract locks, no undo
+    /// log, no retries. Any mutating op in the script is rejected with
+    /// [`ScriptStatus::ReadOnlyViolation`].
+    pub fn read_only(mut self) -> Self {
+        self.read_only = true;
+        self
+    }
+
+    /// Whether [`ScriptBuilder::read_only`] was called.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
     }
 
     /// Append an arbitrary (guarded) op.
@@ -314,6 +330,39 @@ impl Connection {
         Ok(outcome)
     }
 
+    /// Send a **read-only snapshot script** without waiting for its
+    /// reply (pipelining counterpart of
+    /// [`Connection::execute_read_only`]).
+    pub fn send_read_only_script(&mut self, ops: Vec<ScriptOp>) -> Result<u64, ClientError> {
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        self.send(&Request::ReadOnlyScript { req_id, ops })?;
+        Ok(req_id)
+    }
+
+    /// Execute `ops` as one read-only snapshot transaction: the server
+    /// takes no abstract locks and never aborts or retries, so the
+    /// reply always comes back after exactly one attempt.
+    pub fn execute_read_only(&mut self, ops: Vec<ScriptOp>) -> Result<Outcome, ClientError> {
+        let sent = self.send_read_only_script(ops)?;
+        let (req_id, outcome) = self.recv_script()?;
+        if req_id != sent {
+            return Err(ClientError::UnexpectedReply);
+        }
+        Ok(outcome)
+    }
+
+    /// Execute a built script, routing on [`ScriptBuilder::read_only`]:
+    /// read-only scripts take the lock-free snapshot path, everything
+    /// else the classic boosted-transaction path.
+    pub fn run(&mut self, script: ScriptBuilder) -> Result<Outcome, ClientError> {
+        if script.read_only {
+            self.execute_read_only(script.ops)
+        } else {
+            self.execute(script.ops)
+        }
+    }
+
     /// Fetch the server's stats document (JSON).
     pub fn stats_json(&mut self) -> Result<String, ClientError> {
         let req_id = self.next_req_id;
@@ -486,6 +535,18 @@ mod tests {
                 val: 2
             }
         );
+    }
+
+    #[test]
+    fn builder_read_only_flag_defaults_off_and_sticks() {
+        let plain = ScriptBuilder::new().map_contains("m", 1);
+        assert!(!plain.is_read_only());
+        let ro = ScriptBuilder::new()
+            .read_only()
+            .map_contains("m", 1)
+            .counter_get("c");
+        assert!(ro.is_read_only());
+        assert_eq!(ro.build().len(), 2);
     }
 
     #[test]

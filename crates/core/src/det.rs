@@ -69,6 +69,15 @@ pub enum Point {
     WalSegmentRoll,
     /// WAL recovery is about to scan/replay one record.
     WalRecoveryStep,
+    /// A committed write is about to install a new version into an
+    /// object's version chain.
+    VersionInstall,
+    /// A read-only transaction is about to read a version at its
+    /// snapshot timestamp.
+    SnapshotRead,
+    /// A version chain is about to garbage-collect versions below the
+    /// oldest-live-reader floor.
+    VersionGc,
     /// A thread's body returned (recorded by the harness itself).
     Finish,
     /// A test-inserted yield (via [`yield_point`] from test code).

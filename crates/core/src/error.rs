@@ -20,6 +20,12 @@ pub enum AbortReason {
     /// blocking queue waited past its timeout for a condition that never
     /// became true (e.g. `take` on an empty pipeline stage).
     WouldBlock,
+    /// A mutating call (abstract-lock acquisition, undo logging) was
+    /// attempted inside a read-only snapshot transaction
+    /// ([`crate::TxnManager::begin_read_only`]). Read-only transactions
+    /// never abort on conflicts — this is the one, program-error path
+    /// out of them, and it is never retried.
+    ReadOnlyViolation,
     /// Any other application-specific reason.
     Other,
 }
@@ -31,6 +37,7 @@ impl fmt::Display for AbortReason {
             AbortReason::LockTimeout => "abstract-lock acquisition timed out",
             AbortReason::Conflict => "read/write conflict",
             AbortReason::WouldBlock => "conditional synchronization timed out",
+            AbortReason::ReadOnlyViolation => "mutating call inside a read-only transaction",
             AbortReason::Other => "aborted",
         };
         f.write_str(s)
@@ -75,6 +82,12 @@ impl Abort {
         Abort::new(AbortReason::WouldBlock)
     }
 
+    /// An abort raised by a mutating call inside a read-only snapshot
+    /// transaction.
+    pub const fn read_only_violation() -> Self {
+        Abort::new(AbortReason::ReadOnlyViolation)
+    }
+
     /// The reason this abort was raised.
     pub const fn reason(&self) -> AbortReason {
         self.reason
@@ -106,6 +119,11 @@ pub enum TxnError {
     /// loop treats them as terminal: the transaction is rolled back and
     /// not re-attempted.
     ExplicitlyAborted,
+    /// A mutating call was attempted inside a read-only snapshot
+    /// transaction ([`crate::TxnManager::run_read_only`]). Like an
+    /// explicit abort this is a decision (a program error), not a
+    /// transient conflict, and is never retried.
+    ReadOnlyViolation,
 }
 
 impl fmt::Display for TxnError {
@@ -115,6 +133,9 @@ impl fmt::Display for TxnError {
                 write!(f, "transaction retry budget exhausted (last abort: {r})")
             }
             TxnError::ExplicitlyAborted => f.write_str("transaction explicitly aborted"),
+            TxnError::ReadOnlyViolation => {
+                f.write_str("mutating call inside a read-only transaction")
+            }
         }
     }
 }
@@ -131,6 +152,10 @@ mod tests {
         assert_eq!(Abort::lock_timeout().reason(), AbortReason::LockTimeout);
         assert_eq!(Abort::conflict().reason(), AbortReason::Conflict);
         assert_eq!(Abort::would_block().reason(), AbortReason::WouldBlock);
+        assert_eq!(
+            Abort::read_only_violation().reason(),
+            AbortReason::ReadOnlyViolation
+        );
     }
 
     #[test]

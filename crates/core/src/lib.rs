@@ -67,6 +67,7 @@ pub mod det;
 mod error;
 mod inline;
 pub mod locks;
+pub mod mvcc;
 pub mod obs;
 mod stats;
 pub mod trace;
@@ -74,6 +75,10 @@ mod txn;
 
 pub use backoff::{Backoff, SpinWait};
 pub use error::{Abort, AbortReason, TxnError};
+pub use mvcc::{
+    CommitClock, DeltaChain, MvccDomain, MvccMetrics, MvccSnapshot, ReaderRegistry, SnapshotGuard,
+    VersionChain, VersionStore, DEFAULT_CHAIN_BOUND,
+};
 pub use obs::{
     ContentionRegistry, ContentionSnapshot, DurabilityMetrics, DurabilitySnapshot,
     HistogramSnapshot, LatencyHistogram, LockLabel, LockSiteSnapshot, LockSiteStats,

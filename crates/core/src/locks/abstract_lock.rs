@@ -121,6 +121,13 @@ impl AbstractLock {
     /// Returns `Err(Abort::lock_timeout())` if another transaction held
     /// the lock for the entire timeout window.
     pub fn acquire(self: &Arc<Self>, txn: &Txn) -> TxResult<()> {
+        // Read-only snapshot transactions hold no abstract locks, ever
+        // — that structural guarantee (not a convention) is what makes
+        // them abort-free. Any mutating call funnels through here and
+        // is rejected with a typed, non-retried error.
+        if txn.is_read_only() {
+            return Err(Abort::read_only_violation());
+        }
         match self.try_acquire_raw(txn.id(), txn.lock_timeout()) {
             AcquireOutcome::Acquired => {
                 txn.register_held_lock(Arc::clone(self) as Arc<dyn HeldLock>);

@@ -179,6 +179,12 @@ impl<K: Hash + Eq + Clone, S: BuildHasher> KeyLockMap<K, S> {
     /// where two `Arc`s exist for one key and mutual exclusion silently
     /// breaks.
     pub fn lock(&self, txn: &Txn, key: &K) -> TxResult<()> {
+        // Reject read-only transactions before touching the table: no
+        // per-key entry should be created (and then cleaned up) for an
+        // acquisition that is forbidden by construction.
+        if txn.is_read_only() {
+            return Err(crate::Abort::read_only_violation());
+        }
         let h1 = self.key_hash(key);
         let h2 = self.cache_hasher.hash_one(key);
         if txn.lock_cache_hit(self.table_id, h1, h2) {

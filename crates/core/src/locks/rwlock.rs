@@ -101,6 +101,13 @@ impl TxRwLock {
 
     /// Acquire in shared (read) mode for `txn`.
     pub fn read_lock(self: &Arc<Self>, txn: &Txn) -> TxResult<()> {
+        // Even shared mode is forbidden for read-only snapshot
+        // transactions: they read version chains, not the live object,
+        // so a lock would only let them block (and be blocked by)
+        // writers — the exact stall this mode exists to remove.
+        if txn.is_read_only() {
+            return Err(Abort::read_only_violation());
+        }
         #[cfg(feature = "deterministic")]
         if crate::det::active() {
             return self.read_lock_det(txn);
@@ -134,6 +141,9 @@ impl TxRwLock {
     /// Acquire in exclusive (write) mode for `txn`, upgrading from
     /// shared mode if necessary.
     pub fn write_lock(self: &Arc<Self>, txn: &Txn) -> TxResult<()> {
+        if txn.is_read_only() {
+            return Err(Abort::read_only_violation());
+        }
         #[cfg(feature = "deterministic")]
         if crate::det::active() {
             return self.write_lock_det(txn);

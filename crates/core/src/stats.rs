@@ -46,7 +46,10 @@ impl TxnStats {
             crate::AbortReason::Explicit => &self.explicit_aborts,
             crate::AbortReason::Conflict => &self.conflict_aborts,
             crate::AbortReason::WouldBlock => &self.would_block_aborts,
-            crate::AbortReason::Other => return,
+            // Read-only violations are program errors surfaced to the
+            // caller, not contention; like `Other` they count only in
+            // the total (the server tracks them per-script instead).
+            crate::AbortReason::ReadOnlyViolation | crate::AbortReason::Other => return,
         };
         c.fetch_add(1, Ordering::Relaxed);
     }

@@ -94,6 +94,10 @@ const UNDO_INLINE: usize = 12;
 /// Inline capacity of each deferred-action (on-commit / on-abort) log.
 const DEFER_INLINE: usize = 4;
 
+/// Inline capacity of the version-install log (one entry per mutated
+/// key; the busiest in-tree script installs 4).
+const VERSION_INLINE: usize = 8;
+
 /// Inline capacity of the held-locks list.
 const LOCKS_INLINE: usize = 8;
 
@@ -178,6 +182,12 @@ pub struct Txn {
     undo_log: RefCell<ActionLog<UNDO_INLINE>>,
     on_commit: RefCell<ActionLog<DEFER_INLINE>>,
     on_abort: RefCell<ActionLog<DEFER_INLINE>>,
+    /// Version installs to run at commit, stamped with the commit
+    /// timestamp; see [`crate::mvcc`]. Discarded on abort.
+    version_log: RefCell<ActionLog<VERSION_INLINE>>,
+    /// `Some` for read-only snapshot transactions: the registered
+    /// reader guard pinning the GC floor at the snapshot timestamp.
+    snapshot: Option<crate::mvcc::SnapshotGuard>,
     held_locks: RefCell<InlineVec<Arc<dyn HeldLock>, LOCKS_INLINE>>,
     /// Fast-path reacquire cache; see [`crate::locks::cache`].
     lock_cache: RefCell<LockCache>,
@@ -199,19 +209,40 @@ impl fmt::Debug for Txn {
 }
 
 impl Txn {
-    fn new(id: TxnId, lock_timeout: Duration) -> Self {
+    fn new(
+        id: TxnId,
+        lock_timeout: Duration,
+        snapshot: Option<crate::mvcc::SnapshotGuard>,
+    ) -> Self {
         Txn {
             id,
             state: Cell::new(TxnState::Active),
             undo_log: RefCell::new(ActionLog::new()),
             on_commit: RefCell::new(ActionLog::new()),
             on_abort: RefCell::new(ActionLog::new()),
+            version_log: RefCell::new(ActionLog::new()),
+            snapshot,
             held_locks: RefCell::new(InlineVec::default()),
             lock_cache: RefCell::new(LockCache::default()),
             lock_timeout,
             started: Instant::now(),
             _not_send: PhantomData,
         }
+    }
+
+    /// Whether this is a read-only snapshot transaction
+    /// ([`TxnManager::begin_read_only`]): no abstract locks, no undo
+    /// logging, cannot abort on conflicts. Mutating calls on boosted
+    /// objects fail with [`AbortReason::ReadOnlyViolation`].
+    pub fn is_read_only(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// The snapshot timestamp a read-only transaction reads at
+    /// (`None` for a normal read-write transaction). Boosted read
+    /// methods route through their version chains when this is set.
+    pub fn snapshot_ts(&self) -> Option<u64> {
+        self.snapshot.as_ref().map(crate::mvcc::SnapshotGuard::ts)
     }
 
     /// This transaction's globally unique id.
@@ -252,6 +283,10 @@ impl Txn {
     /// Panics if the transaction is no longer active.
     pub fn log_undo(&self, inverse: impl FnOnce() + Send + 'static) {
         self.assert_active("log_undo");
+        debug_assert!(
+            !self.is_read_only(),
+            "read-only transactions log no inverses (the lock guards reject mutations first)"
+        );
         #[cfg(feature = "deterministic")]
         crate::det::yield_point(crate::det::Point::UndoPush);
         self.undo_log.borrow_mut().push(inverse);
@@ -293,6 +328,24 @@ impl Txn {
     /// propagate with `?` (or `return Err(...)`).
     pub fn abort(&self) -> Abort {
         Abort::explicit()
+    }
+
+    /// Log a version install to run if this transaction commits. The
+    /// closure typically calls [`crate::VersionStore::install`] (or
+    /// [`crate::DeltaChain::install_current`]); it runs inside the
+    /// commit's `with_commit_ts` window — after the
+    /// undo log is discarded, while abstract locks are still held —
+    /// in the order logged. Discarded without running on abort.
+    ///
+    /// # Panics
+    /// Panics if the transaction is no longer active.
+    pub fn log_version_install(&self, install: impl FnOnce() + Send + 'static) {
+        self.assert_active("log_version_install");
+        debug_assert!(
+            !self.is_read_only(),
+            "read-only transactions install no versions"
+        );
+        self.version_log.borrow_mut().push(install);
     }
 
     /// Mark the current extent of the transaction's logs, for partial
@@ -386,6 +439,7 @@ impl Txn {
         self.undo_log.borrow().boxed_count()
             + self.on_commit.borrow().boxed_count()
             + self.on_abort.borrow().boxed_count()
+            + self.version_log.borrow().boxed_count()
     }
 
     /// Number of abstract locks currently registered (diagnostics/tests).
@@ -468,6 +522,21 @@ impl Txn {
         self.state.set(TxnState::Committed);
         self.undo_log.borrow_mut().clear();
         self.on_abort.borrow_mut().clear();
+        // Stamp and install versions while abstract locks are still
+        // held: the timestamp is reserved inside the locked window, so
+        // timestamp order extends the lock-serialization order, and a
+        // conflicting writer cannot commit between our installs.
+        if !self.version_log.borrow().is_empty() {
+            let domain = crate::mvcc::MvccDomain::global();
+            let ts = domain.clock.reserve();
+            let installs = std::mem::take(&mut *self.version_log.borrow_mut());
+            crate::mvcc::with_commit_ts(ts, || {
+                for a in installs {
+                    a.invoke();
+                }
+            });
+            domain.clock.publish(ts);
+        }
         self.release_locks();
         let actions = std::mem::take(&mut *self.on_commit.borrow_mut());
         for a in actions {
@@ -483,6 +552,7 @@ impl Txn {
         debug_assert_eq!(self.state.get(), TxnState::Active);
         self.state.set(TxnState::Aborted);
         self.on_commit.borrow_mut().clear();
+        self.version_log.borrow_mut().clear();
         if !self.undo_log.borrow().is_empty() {
             let inverses = std::mem::take(&mut *self.undo_log.borrow_mut());
             for inv in inverses.into_iter().rev() {
@@ -616,7 +686,50 @@ impl TxnManager {
         let raw = NEXT_TXN_ID.fetch_add(1, Ordering::Relaxed);
         let id = TxnId(NonZeroU64::new(raw).expect("transaction id counter overflowed"));
         crate::trace_event!(Begin { txn: id });
-        Txn::new(id, self.config.lock_timeout)
+        Txn::new(id, self.config.lock_timeout, None)
+    }
+
+    /// Begin a **read-only snapshot transaction**: it registers as a
+    /// reader at the global [`crate::MvccDomain`]'s stable timestamp
+    /// and reads boosted objects from their version chains at that
+    /// snapshot. It acquires no abstract locks, logs no inverses, and
+    /// cannot abort on conflicts — mutating calls fail with
+    /// [`AbortReason::ReadOnlyViolation`] instead. Most callers should
+    /// prefer [`TxnManager::run_read_only`].
+    pub fn begin_read_only(&self) -> Txn {
+        self.stats.record_start();
+        let raw = NEXT_TXN_ID.fetch_add(1, Ordering::Relaxed);
+        let id = TxnId(NonZeroU64::new(raw).expect("transaction id counter overflowed"));
+        crate::trace_event!(Begin { txn: id });
+        let snapshot = crate::mvcc::MvccDomain::global().begin_snapshot();
+        Txn::new(id, self.config.lock_timeout, Some(snapshot))
+    }
+
+    /// Run `body` as a read-only snapshot transaction. Exactly one
+    /// attempt — there is no conflict to retry: the snapshot is
+    /// immutable for the transaction's lifetime, so the only error
+    /// paths are program decisions (an explicit abort, or a mutating
+    /// call answered with [`TxnError::ReadOnlyViolation`]).
+    pub fn run_read_only<R>(&self, body: impl FnOnce(&Txn) -> TxResult<R>) -> Result<R, TxnError> {
+        let txn = self.begin_read_only();
+        match body(&txn) {
+            Ok(value) => {
+                self.commit(txn);
+                Ok(value)
+            }
+            Err(abort) => {
+                let reason = abort.reason();
+                self.abort(txn, reason);
+                match reason {
+                    AbortReason::Explicit => Err(TxnError::ExplicitlyAborted),
+                    AbortReason::ReadOnlyViolation => Err(TxnError::ReadOnlyViolation),
+                    // Unreachable through in-tree code paths (no locks
+                    // are ever acquired), but user closures may return
+                    // any abort; single attempt, never retried.
+                    other => Err(TxnError::RetriesExhausted(other)),
+                }
+            }
+        }
     }
 
     /// Commit a transaction begun with [`TxnManager::begin`].

@@ -1,7 +1,8 @@
 //! Per-file structural analysis over the token stream: function
 //! extents, `#[cfg(test)]` regions, handler-closure regions
-//! (`log_undo` / `defer_on_commit` / `defer_on_abort`, the server's
-//! retry closure, and the WAL's replay and flusher closures), and
+//! (`log_undo` / `defer_on_commit` / `defer_on_abort` /
+//! `log_version_install`, the server's retry closure, and the WAL's
+//! replay and flusher closures), and
 //! `// txboost-lint: allow(...)` suppressions.
 
 use crate::source::{lex, Comment, TokKind, Token};
@@ -34,6 +35,11 @@ pub enum HandlerKind {
     DeferCommit,
     /// `txn.defer_on_abort(...)` — deferred abort-time action.
     DeferAbort,
+    /// `txn.log_version_install(...)` — the multi-version read path's
+    /// commit-time closure: it runs while abstract locks are still
+    /// held and triggers chain GC, so a panic there dooms the commit
+    /// *after* the point of no return.
+    VersionInstall,
     /// `tm.run(...)` — the server's retry closure (crates/server only).
     RetryClosure,
     /// `log.replay(...)` — the WAL recovery replay closure
@@ -238,6 +244,7 @@ impl FileAnalysis {
                 "log_undo" => HandlerKind::Undo,
                 "defer_on_commit" => HandlerKind::DeferCommit,
                 "defer_on_abort" => HandlerKind::DeferAbort,
+                "log_version_install" => HandlerKind::VersionInstall,
                 "run" if in_server => HandlerKind::RetryClosure,
                 "replay" if in_server || in_wal => HandlerKind::WalReplay,
                 "spawn" if in_wal => HandlerKind::WalFlusher,

@@ -179,6 +179,12 @@ const YIELD_SITES: &[(&str, &str, &[&str])] = &[
         "recovery_step_det",
         &["WalRecoveryStep"],
     ),
+    // The multi-version read path: replay determinism requires every
+    // chain operation (version + delta chains alike — the names are
+    // shared deliberately) to yield exactly once, unconditionally.
+    ("crates/core/src/mvcc.rs", "install", &["VersionInstall"]),
+    ("crates/core/src/mvcc.rs", "read_at", &["SnapshotRead"]),
+    ("crates/core/src/mvcc.rs", "gc", &["VersionGc"]),
 ];
 
 /// Functions subject to the boosted-method rules: real (non-test)
@@ -420,6 +426,9 @@ fn handler_panic_audit(fa: &FileAnalysis, out: &mut RuleOutput) {
             HandlerKind::Undo => "undo (abort-replay) closure",
             HandlerKind::DeferCommit => "deferred commit action",
             HandlerKind::DeferAbort => "deferred abort action",
+            HandlerKind::VersionInstall => {
+                "version-install closure (runs at commit, after the point of no return)"
+            }
             HandlerKind::RetryClosure => "transaction retry closure",
             HandlerKind::WalReplay => "WAL replay closure (the crash-recovery path)",
             HandlerKind::WalFlusher => "WAL flusher loop (the only thread acking durability)",

@@ -1,0 +1,42 @@
+//! Clean multi-version chain: every registered yield-point site
+//! (`install`, `read_at`, `gc`) carries its deterministic hook, and
+//! the commit-time version-install closure stays panic-free.
+
+pub struct VersionChain {
+    versions: Mutex<Vec<(u64, Option<u64>)>>,
+}
+
+impl VersionChain {
+    pub fn install(&self, ts: u64, value: Option<u64>) {
+        det::yield_point(det::Point::VersionInstall);
+        if let Ok(mut versions) = self.versions.lock() {
+            versions.push((ts, value));
+        }
+        self.gc(ts, &mut |_| {});
+    }
+
+    pub fn read_at(&self, ts: u64) -> Option<u64> {
+        det::yield_point(det::Point::SnapshotRead);
+        let versions = self.versions.lock().ok()?;
+        versions
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t <= ts)
+            .and_then(|&(_, v)| v)
+    }
+
+    pub fn gc(&self, floor: u64, on_reclaim: &mut dyn FnMut(u64)) {
+        det::yield_point(det::Point::VersionGc);
+        if let Ok(mut versions) = self.versions.lock() {
+            let cut = versions.partition_point(|&(t, _)| t < floor);
+            versions.drain(..cut);
+            on_reclaim(cut as u64);
+        }
+    }
+}
+
+pub fn record_version(txn: &Txn, chain: Arc<VersionChain>, ts: u64) {
+    txn.log_version_install(move || {
+        chain.install(ts, None);
+    });
+}

@@ -1,0 +1,9 @@
+//! Violates handler-panic-audit inside a commit-time version-install
+//! closure: the install runs after the transaction's point of no
+//! return, so the unwrap would doom an already-decided commit.
+
+pub fn bad_version_install(txn: &Txn, chain: Arc<Chain>, ts: u64) {
+    txn.log_version_install(move || {
+        chain.install(ts, lookup(ts).unwrap());
+    });
+}

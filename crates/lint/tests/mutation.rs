@@ -87,6 +87,42 @@ fn deleting_the_yield_hook_trips_yield_point_coverage() {
 }
 
 #[test]
+fn deleting_the_mvcc_yield_hooks_trips_yield_point_coverage() {
+    let rel = "crates/core/src/mvcc.rs";
+    let src = clean_fixture(rel);
+    assert_eq!(lint_source(rel, &src).unsuppressed().count(), 0);
+
+    // Each chain method is a registered site: deleting any one of its
+    // hooks must fire (the rule is per-row, not per-file).
+    for marker in ["VersionInstall", "SnapshotRead", "VersionGc"] {
+        let mutated = strip_lines(&src, |l| l.contains(marker));
+        let report = lint_source(rel, &mutated);
+        let fired: Vec<_> = report.unsuppressed().map(|d| d.rule).collect();
+        assert!(
+            fired.contains(&"yield-point-coverage"),
+            "removing the {marker} hook must trip yield-point-coverage, got {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn adding_a_panic_to_the_version_install_closure_is_caught() {
+    let rel = "crates/core/src/mvcc.rs";
+    let src = clean_fixture(rel);
+    let mutated = src.replace(
+        "chain.install(ts, None);",
+        "chain.install(ts, None).unwrap();",
+    );
+    assert_ne!(src, mutated, "fixture lost its version-install closure");
+    let report = lint_source(rel, &mutated);
+    let fired: Vec<_> = report.unsuppressed().map(|d| d.rule).collect();
+    assert!(
+        fired.contains(&"handler-panic-audit"),
+        "an unwrap inside log_version_install must trip handler-panic-audit, got {fired:?}"
+    );
+}
+
+#[test]
 fn deleting_the_suppression_reason_trips_the_policy_check() {
     let rel = "crates/boosted/src/good_set.rs";
     let src = clean_fixture(rel);

@@ -62,7 +62,7 @@ pub struct Executor {
     /// Service time per whole script (execution only, not queueing).
     script_hist: LatencyHistogram,
     /// Scripts finished per [`ScriptStatus`] (indexed by status byte).
-    status_counts: [AtomicU64; 6],
+    status_counts: [AtomicU64; 7],
     /// Shared connection counters.
     pub conns: Arc<ConnMetrics>,
     started: Instant,
@@ -216,6 +216,59 @@ impl Executor {
         }
     }
 
+    /// Run `ops` as one **read-only snapshot transaction**: no abstract
+    /// locks, no undo log, no WAL record, and exactly one attempt —
+    /// snapshot reads cannot conflict, so there is nothing to retry or
+    /// back off from. Mutating ops (and `DebugAbort`) are rejected with
+    /// [`ScriptStatus::ReadOnlyViolation`] before touching any object.
+    pub fn execute_read_only(&self, ops: &[ScriptOp]) -> ScriptOutcome {
+        let t0 = Instant::now();
+        let mut results: Vec<OpResult> = Vec::with_capacity(ops.len());
+        let failed: Cell<Option<u16>> = Cell::new(None);
+        let run = self.tm.run_read_only(|txn| {
+            for (i, sop) in ops.iter().enumerate() {
+                if op_mutates(&sop.op) || matches!(sop.op, Op::DebugAbort) {
+                    failed.set(Some(i as u16));
+                    return Err(Abort::read_only_violation());
+                }
+                let op_t0 = Instant::now();
+                // `failed` is only consulted on the violation and guard
+                // paths above/below; read ops never set it.
+                let guard_sink = Cell::new(None);
+                let r = self.run_op(txn, &sop.op, i as u16, &guard_sink)?;
+                if let Some(hist) = self.op_hist.get((sop.op.opcode() - 1) as usize) {
+                    hist.record_duration(op_t0.elapsed());
+                }
+                if !sop.guard.admits(&r) {
+                    failed.set(Some(i as u16));
+                    return Err(Abort::explicit());
+                }
+                results.push(r);
+            }
+            Ok(())
+        });
+        let (status, failed_op) = match run {
+            Ok(()) => (ScriptStatus::Committed, None),
+            Err(TxnError::ReadOnlyViolation) => (ScriptStatus::ReadOnlyViolation, failed.get()),
+            Err(TxnError::ExplicitlyAborted) => (ScriptStatus::GuardFailed, failed.get()),
+            // A snapshot read cannot time out or block, but map every
+            // future abort kind to a reply rather than a panic.
+            Err(_) => (ScriptStatus::RetriesExhausted, None),
+        };
+        if status != ScriptStatus::Committed {
+            results.clear();
+        }
+        self.script_hist.record_duration(t0.elapsed());
+        self.status_counts[status_index(status)].fetch_add(1, Ordering::Relaxed);
+        ScriptOutcome {
+            status,
+            attempts: 1,
+            failed_op,
+            results,
+            wal_durable: None,
+        }
+    }
+
     fn run_op(
         &self,
         txn: &Txn,
@@ -293,6 +346,7 @@ impl Executor {
             ScriptStatus::GuardFailed,
             ScriptStatus::DebugAborted,
             ScriptStatus::RetriesExhausted,
+            ScriptStatus::ReadOnlyViolation,
         ]
         .iter()
         .enumerate()
@@ -386,6 +440,24 @@ impl Executor {
             out.push('}');
         }
 
+        let mv = txboost_core::MvccDomain::global();
+        let mv_snap = mv.metrics.snapshot();
+        out.push_str(",\"mvcc\":{");
+        push_kv_u64(&mut out, "installs", mv_snap.installs);
+        out.push(',');
+        push_kv_u64(&mut out, "snapshot_reads", mv_snap.snapshot_reads);
+        out.push(',');
+        push_kv_u64(&mut out, "gc_reclaimed", mv_snap.gc_reclaimed);
+        out.push(',');
+        push_kv_u64(&mut out, "stable_ts", mv.clock.stable());
+        out.push(',');
+        push_kv_u64(&mut out, "live_readers", mv.readers.live_readers() as u64);
+        out.push_str(",\"chain_len\":");
+        push_hist(&mut out, &mv_snap.chain_len);
+        out.push_str(",\"snapshot_age\":");
+        push_hist(&mut out, &mv_snap.snapshot_age);
+        out.push('}');
+
         let (maps, counters, sems, idgens, pqs) = self.ns.object_counts();
         out.push_str(",\"objects\":{");
         push_kv_u64(&mut out, "maps", maps as u64);
@@ -422,6 +494,7 @@ fn status_index(s: ScriptStatus) -> usize {
         ScriptStatus::GuardFailed => 3,
         ScriptStatus::DebugAborted => 4,
         ScriptStatus::RetriesExhausted => 5,
+        ScriptStatus::ReadOnlyViolation => 6,
     }
 }
 
@@ -603,6 +676,109 @@ mod tests {
     }
 
     #[test]
+    fn read_only_script_reads_a_committed_snapshot_without_locks() {
+        let e = exec();
+        let seeded = e.execute(&[
+            op(Op::MapInsert {
+                obj: "m".into(),
+                key: 1,
+                val: 10,
+            }),
+            op(Op::CounterAdd {
+                obj: "c".into(),
+                delta: 5,
+            }),
+        ]);
+        assert_eq!(seeded.status, ScriptStatus::Committed);
+        let out = e.execute_read_only(&[
+            ScriptOp::guarded(
+                Op::MapContains {
+                    obj: "m".into(),
+                    key: 1,
+                },
+                Guard::ExpectTrue,
+            ),
+            op(Op::MapContains {
+                obj: "m".into(),
+                key: 2,
+            }),
+            op(Op::CounterGet { obj: "c".into() }),
+        ]);
+        assert_eq!(out.status, ScriptStatus::Committed);
+        assert_eq!(out.attempts, 1, "snapshot reads never retry");
+        assert_eq!(out.wal_durable, None, "read-only scripts earn no record");
+        assert_eq!(
+            out.results,
+            vec![
+                OpResult::Bool(true),
+                OpResult::Bool(false),
+                OpResult::Value(Some(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn read_only_script_rejects_mutations_with_a_typed_status() {
+        let e = exec();
+        for mutating in [
+            Op::MapInsert {
+                obj: "m".into(),
+                key: 1,
+                val: 1,
+            },
+            Op::MapRemove {
+                obj: "m".into(),
+                key: 1,
+            },
+            Op::CounterAdd {
+                obj: "c".into(),
+                delta: 1,
+            },
+            Op::SemAcquire { obj: "s".into() },
+            Op::SemRelease { obj: "s".into() },
+            Op::IdGen { obj: "g".into() },
+            Op::PqAdd {
+                obj: "q".into(),
+                key: 1,
+            },
+            Op::PqRemoveMin { obj: "q".into() },
+            Op::DebugAbort,
+        ] {
+            let out = e.execute_read_only(&[
+                op(Op::MapContains {
+                    obj: "m".into(),
+                    key: 1,
+                }),
+                op(mutating.clone()),
+            ]);
+            assert_eq!(
+                out.status,
+                ScriptStatus::ReadOnlyViolation,
+                "op {mutating:?}"
+            );
+            assert_eq!(out.failed_op, Some(1));
+            assert!(out.results.is_empty());
+        }
+        // Nothing leaked into committed state.
+        let probe = e.execute_read_only(&[op(Op::CounterGet { obj: "c".into() })]);
+        assert_eq!(probe.results, vec![OpResult::Value(Some(0))]);
+    }
+
+    #[test]
+    fn read_only_guard_failures_name_the_op() {
+        let e = exec();
+        let out = e.execute_read_only(&[ScriptOp::guarded(
+            Op::MapContains {
+                obj: "m".into(),
+                key: 99,
+            },
+            Guard::ExpectTrue,
+        )]);
+        assert_eq!(out.status, ScriptStatus::GuardFailed);
+        assert_eq!(out.failed_op, Some(0));
+    }
+
+    #[test]
     fn stats_json_reports_per_op_histograms() {
         let e = exec();
         e.execute(&[op(Op::MapInsert {
@@ -610,11 +786,27 @@ mod tests {
             key: 1,
             val: 1,
         })]);
+        e.execute_read_only(&[op(Op::MapContains {
+            obj: "m".into(),
+            key: 1,
+        })]);
+        e.execute_read_only(&[op(Op::CounterAdd {
+            obj: "c".into(),
+            delta: 1,
+        })]);
         let json = e.stats_json();
         assert!(json.contains("\"map_insert\":{\"count\":1"), "{json}");
-        assert!(json.contains("\"committed\":1"), "{json}");
-        assert!(json.contains("\"script_service\":{\"count\":1"), "{json}");
+        assert!(json.contains("\"committed\":2"), "{json}");
+        assert!(json.contains("\"read_only_violation\":1"), "{json}");
+        assert!(json.contains("\"script_service\":{\"count\":3"), "{json}");
         assert!(json.contains("\"maps\":1"), "{json}");
+        // The MVCC section is present with its counters and histograms.
+        assert!(json.contains("\"mvcc\":{\"installs\":"), "{json}");
+        assert!(json.contains("\"snapshot_reads\":"), "{json}");
+        assert!(json.contains("\"gc_reclaimed\":"), "{json}");
+        assert!(json.contains("\"chain_len\":{"), "{json}");
+        assert!(json.contains("\"snapshot_age\":{"), "{json}");
+        assert!(json.contains("\"live_readers\":0"), "{json}");
         // Well-formed enough for line-oriented checks: braces balance.
         assert_eq!(
             json.matches('{').count(),

@@ -411,6 +411,20 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
                             results: out.results,
                         }
                     }
+                    Request::ReadOnlyScript { req_id, ops } => {
+                        // Routed around the lock manager, retry loop
+                        // and WAL entirely: snapshot reads cannot
+                        // conflict, so there is nothing to back off
+                        // from and nothing to log.
+                        let out = shared.exec.execute_read_only(&ops);
+                        Response::Script {
+                            req_id,
+                            status: out.status,
+                            attempts: out.attempts,
+                            failed_op: out.failed_op,
+                            results: out.results,
+                        }
+                    }
                     Request::Stats { req_id } => Response::Stats {
                         req_id,
                         json: shared.exec.stats_json(),

@@ -250,6 +250,174 @@ fn stats_reports_per_op_histograms_and_attribution() {
 }
 
 #[test]
+fn read_only_scripts_snapshot_without_locks_across_the_wire() {
+    let server = start_server();
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+
+    // Seed committed state.
+    let out = conn
+        .execute(
+            ScriptBuilder::new()
+                .map_insert("ro_map", 1, 10)
+                .counter_add("ro_ctr", 5)
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(out.status, ScriptStatus::Committed);
+
+    // A read-only script routed through ScriptBuilder::read_only():
+    // commits in exactly one attempt with a consistent snapshot.
+    let out = conn
+        .run(
+            ScriptBuilder::new()
+                .read_only()
+                .map_contains("ro_map", 1)
+                .map_contains("ro_map", 2)
+                .counter_get("ro_ctr"),
+        )
+        .unwrap();
+    assert_eq!(out.status, ScriptStatus::Committed);
+    assert_eq!(out.attempts, 1, "snapshot reads never retry");
+    assert_eq!(
+        out.results,
+        vec![
+            OpResult::Bool(true),
+            OpResult::Bool(false),
+            OpResult::Value(Some(5)),
+        ]
+    );
+
+    // A mutating op in a read-only script is a typed rejection.
+    let out = conn
+        .run(
+            ScriptBuilder::new()
+                .read_only()
+                .map_contains("ro_map", 1)
+                .map_insert("ro_map", 2, 2),
+        )
+        .unwrap();
+    assert_eq!(out.status, ScriptStatus::ReadOnlyViolation);
+    assert_eq!(out.failed_op, Some(1));
+    assert!(out.results.is_empty());
+
+    // Nothing leaked; and the stats document exposes the MVCC section
+    // plus the per-status counter.
+    let out = conn
+        .run(ScriptBuilder::new().read_only().map_contains("ro_map", 2))
+        .unwrap();
+    assert_eq!(out.results, vec![OpResult::Bool(false)]);
+    let json = conn.stats_json().unwrap();
+    for needle in [
+        "\"read_only_violation\":1",
+        "\"mvcc\":{\"installs\":",
+        "\"snapshot_reads\":",
+        "\"gc_reclaimed\":",
+        "\"chain_len\":{",
+        "\"snapshot_age\":{",
+    ] {
+        assert!(json.contains(needle), "stats missing {needle}: {json}");
+    }
+    server.join();
+}
+
+#[test]
+fn read_only_scripts_interleave_with_writers_and_stay_consistent() {
+    // Writers transfer between two map cells (sum preserved per
+    // commit); concurrent read-only scripts must observe both cells
+    // from ONE committed snapshot — the transfer invariant must hold
+    // inside every read-only reply even while writers hold locks.
+    let server = start_server();
+    let addr = server.local_addr().to_string();
+
+    let mut setup = Connection::connect(&addr).unwrap();
+    let out = setup
+        .execute(
+            ScriptBuilder::new()
+                .map_insert("pair", 0, 100)
+                .map_insert("pair", 1, 100)
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(out.status, ScriptStatus::Committed);
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for t in 0..2u64 {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut conn = Connection::connect(&addr).unwrap();
+                let mut rng = Rng(0xF00D ^ (t + 1));
+                for _ in 0..200 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let amt = (rng.below(9) + 1) as i64;
+                    let (from, to) = if rng.below(2) == 0 { (0, 1) } else { (1, 0) };
+                    // Remove both, re-insert shifted: keeps the pair's
+                    // sum at 200 in every committed state.
+                    let out = conn
+                        .execute(
+                            ScriptBuilder::new()
+                                .map_remove_guarded("pair", from, Guard::ExpectSome)
+                                .map_remove_guarded("pair", to, Guard::ExpectSome)
+                                .build(),
+                        )
+                        .unwrap();
+                    if out.status != ScriptStatus::Committed {
+                        continue;
+                    }
+                    let (OpResult::Value(Some(a)), OpResult::Value(Some(b))) =
+                        (&out.results[0], &out.results[1])
+                    else {
+                        panic!("guarded removes returned {:?}", out.results);
+                    };
+                    let out = conn
+                        .execute(
+                            ScriptBuilder::new()
+                                .map_insert("pair", from, a - amt)
+                                .map_insert("pair", to, b + amt)
+                                .build(),
+                        )
+                        .unwrap();
+                    assert_eq!(out.status, ScriptStatus::Committed);
+                }
+            });
+        }
+        {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut conn = Connection::connect(&addr).unwrap();
+                for _ in 0..300 {
+                    let out = conn
+                        .run(
+                            ScriptBuilder::new()
+                                .read_only()
+                                .map_contains("pair", 0)
+                                .map_contains("pair", 1),
+                        )
+                        .unwrap();
+                    assert_eq!(out.status, ScriptStatus::Committed, "read-only aborted");
+                    assert_eq!(out.attempts, 1);
+                    // Snapshot consistency: the two-step writer removes
+                    // both cells before re-inserting, so a snapshot can
+                    // show both present or both absent — never one.
+                    let (OpResult::Bool(a), OpResult::Bool(b)) = (&out.results[0], &out.results[1])
+                    else {
+                        panic!("unexpected results {:?}", out.results);
+                    };
+                    assert_eq!(a, b, "read-only script straddled a commit");
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+    });
+    server.join();
+}
+
+#[test]
 fn semaphore_scripts_block_and_release_across_the_wire() {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".into(),

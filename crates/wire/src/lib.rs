@@ -22,6 +22,7 @@
 //! | `0x01` | [`Request::Script`] | `req_id: u64`, `n_ops: u16`, ops |
 //! | `0x02` | [`Request::Stats`] | `req_id: u64` |
 //! | `0x03` | [`Request::Ping`] | `req_id: u64` |
+//! | `0x04` | [`Request::ReadOnlyScript`] | same payload as `Script` |
 //! | `0x7F` | [`Request::Shutdown`] | `req_id: u64` |
 //!
 //! Each op is `opcode: u8`, `guard: u8`, then its operands (object
@@ -345,6 +346,17 @@ pub enum Request {
         /// Correlation id.
         req_id: u64,
     },
+    /// Execute `ops` as one **read-only snapshot transaction**: the
+    /// server takes no abstract locks, writes no undo log, and never
+    /// aborts or retries — every read observes one consistent committed
+    /// snapshot. A mutating op in the list fails the whole script with
+    /// [`ScriptStatus::ReadOnlyViolation`] (nothing to roll back).
+    ReadOnlyScript {
+        /// Client-chosen correlation id, echoed in the reply.
+        req_id: u64,
+        /// The transaction script (read ops only).
+        ops: Vec<ScriptOp>,
+    },
     /// Ask the server to drain gracefully: in-flight transactions
     /// finish and get replies, then every connection closes.
     Shutdown {
@@ -371,6 +383,10 @@ pub enum ScriptStatus {
     DebugAborted,
     /// Retries exhausted for some other reason.
     RetriesExhausted,
+    /// A [`Request::ReadOnlyScript`] contained a mutating op. Read-only
+    /// transactions cannot abort, so this is a rejection, not a
+    /// rollback; `failed_op` names the offending op.
+    ReadOnlyViolation,
 }
 
 impl ScriptStatus {
@@ -382,6 +398,7 @@ impl ScriptStatus {
             ScriptStatus::GuardFailed => 3,
             ScriptStatus::DebugAborted => 4,
             ScriptStatus::RetriesExhausted => 5,
+            ScriptStatus::ReadOnlyViolation => 6,
         }
     }
 
@@ -393,6 +410,7 @@ impl ScriptStatus {
             3 => ScriptStatus::GuardFailed,
             4 => ScriptStatus::DebugAborted,
             5 => ScriptStatus::RetriesExhausted,
+            6 => ScriptStatus::ReadOnlyViolation,
             other => return Err(WireError::UnknownStatus(other)),
         })
     }
@@ -406,6 +424,7 @@ impl ScriptStatus {
             ScriptStatus::GuardFailed => "guard_failed",
             ScriptStatus::DebugAborted => "debug_aborted",
             ScriptStatus::RetriesExhausted => "retries_exhausted",
+            ScriptStatus::ReadOnlyViolation => "read_only_violation",
         }
     }
 }
@@ -638,6 +657,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(0x03);
             out.extend_from_slice(&req_id.to_le_bytes());
         }
+        Request::ReadOnlyScript { req_id, ops } => {
+            out.push(0x04);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            encode_ops(&mut out, ops);
+        }
         Request::Shutdown { req_id } => {
             out.push(0x7F);
             out.extend_from_slice(&req_id.to_le_bytes());
@@ -823,6 +847,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         }
         0x02 => Request::Stats { req_id: r.u64()? },
         0x03 => Request::Ping { req_id: r.u64()? },
+        0x04 => {
+            let req_id = r.u64()?;
+            let ops = read_ops(&mut r)?;
+            Request::ReadOnlyScript { req_id, ops }
+        }
         0x7F => Request::Shutdown { req_id: r.u64()? },
         other => return Err(WireError::UnknownKind(other)),
     };
@@ -966,6 +995,19 @@ mod tests {
             },
             Request::Stats { req_id: 2 },
             Request::Ping { req_id: u64::MAX },
+            Request::ReadOnlyScript {
+                req_id: 4,
+                ops: vec![
+                    ScriptOp::guarded(
+                        Op::MapContains {
+                            obj: "accounts".into(),
+                            key: 12,
+                        },
+                        Guard::ExpectTrue,
+                    ),
+                    ScriptOp::new(Op::CounterGet { obj: "hits".into() }),
+                ],
+            },
             Request::Shutdown { req_id: 3 },
         ] {
             let enc = encode_request(&req);
@@ -995,6 +1037,13 @@ mod tests {
                 status: ScriptStatus::GuardFailed,
                 attempts: 3,
                 failed_op: Some(1),
+                results: vec![],
+            },
+            Response::Script {
+                req_id: 12,
+                status: ScriptStatus::ReadOnlyViolation,
+                attempts: 1,
+                failed_op: Some(0),
                 results: vec![],
             },
             Response::Stats {
@@ -1064,12 +1113,20 @@ mod tests {
     fn every_payload_prefix_fails_cleanly() {
         // Decoding any strict prefix of a valid payload must error,
         // never panic or succeed.
-        let full = encode_request(&Request::Script {
-            req_id: 3,
-            ops: sample_ops(),
-        });
-        for cut in 0..full.len() {
-            assert!(decode_request(&full[..cut]).is_err(), "prefix {cut} passed");
+        for req in [
+            Request::Script {
+                req_id: 3,
+                ops: sample_ops(),
+            },
+            Request::ReadOnlyScript {
+                req_id: 3,
+                ops: sample_ops(),
+            },
+        ] {
+            let full = encode_request(&req);
+            for cut in 0..full.len() {
+                assert!(decode_request(&full[..cut]).is_err(), "prefix {cut} passed");
+            }
         }
     }
 
@@ -1147,13 +1204,16 @@ mod tests {
 
     #[test]
     fn op_budget_is_enforced() {
-        let mut buf = vec![0x01];
-        buf.extend_from_slice(&1u64.to_le_bytes());
-        buf.extend_from_slice(&u16::MAX.to_le_bytes());
-        assert!(matches!(
-            decode_request(&buf),
-            Err(WireError::TooManyOps(n)) if n == u16::MAX
-        ));
+        // Both script kinds share the op-list decoder and its budget.
+        for kind in [0x01u8, 0x04] {
+            let mut buf = vec![kind];
+            buf.extend_from_slice(&1u64.to_le_bytes());
+            buf.extend_from_slice(&u16::MAX.to_le_bytes());
+            assert!(matches!(
+                decode_request(&buf),
+                Err(WireError::TooManyOps(n)) if n == u16::MAX
+            ));
+        }
     }
 
     #[test]

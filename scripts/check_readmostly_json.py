@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Structural schema check for BENCH_readmostly.json.
+
+Used by two CI consumers: the `mvcc-suite` job validates the JSON a
+fresh short readmostly run just emitted, and the committed baseline
+under bench_results/ is validated the same way. Checks structure plus
+(optionally) the snapshot-read gate: with `--gate R` the readonly
+series must beat the locked series by at least R-times at the highest
+thread count in the ladder — the multi-version read path earning its
+keep exactly where it is supposed to (read-mostly, many threads).
+
+Usage: check_readmostly_json.py PATH [--gate RATIO]
+"""
+
+import json
+import math
+import sys
+
+POINT_KEYS = (
+    "label",
+    "threads",
+    "throughput",
+    "committed",
+    "aborted",
+    "p50_us",
+    "p99_us",
+)
+LABELS = ("locked", "readonly")
+
+
+def fail(msg):
+    print(f"{sys.argv[1]}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    path = sys.argv[1]
+    gate = None
+    rest = sys.argv[2:]
+    if rest and rest[0] == "--gate":
+        if len(rest) < 2:
+            fail("--gate needs a ratio")
+        gate = float(rest[1])
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("name") != "readmostly":
+        fail(f'name is {doc.get("name")!r}, expected "readmostly"')
+    if doc.get("meta", {}).get("read_only_errors") != "0":
+        fail("meta.read_only_errors is not \"0\" — a snapshot read failed")
+    series = doc.get("series")
+    if not series:
+        fail("no series")
+
+    by_threads = {}
+    for i, point in enumerate(series):
+        for key in POINT_KEYS:
+            if key not in point:
+                fail(f"series {i} missing {key}")
+        if point["label"] not in LABELS:
+            fail(f'series {i}: unknown label {point["label"]!r}')
+        for key in ("threads", "committed", "aborted"):
+            if not isinstance(point[key], int) or point[key] < 0:
+                fail(f"series {i}: {key} = {point[key]!r} not a non-negative int")
+        if point["threads"] == 0:
+            fail(f"series {i}: zero threads")
+        if point["committed"] == 0:
+            fail(f'series {i} ({point["label"]}): made no progress')
+        for key in ("throughput", "p50_us", "p99_us"):
+            v = point[key]
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+                fail(f"series {i}: {key} = {v!r} not finite and non-negative")
+        cell = by_threads.setdefault(point["threads"], {})
+        if point["label"] in cell:
+            fail(f'duplicate ({point["label"]}, {point["threads"]}) point')
+        cell[point["label"]] = point
+
+    for threads, cell in sorted(by_threads.items()):
+        missing = [lbl for lbl in LABELS if lbl not in cell]
+        if missing:
+            fail(f"thread count {threads} missing series {missing}")
+
+    if gate is not None:
+        top = max(by_threads)
+        locked = by_threads[top]["locked"]["throughput"]
+        readonly = by_threads[top]["readonly"]["throughput"]
+        if locked <= 0:
+            fail("locked throughput is zero at the top rung")
+        ratio = readonly / locked
+        if ratio < gate:
+            fail(
+                f"snapshot reads are only {ratio:.2f}x the locked baseline "
+                f"at {top} threads (required: {gate:.2f}x)"
+            )
+        print(f"{path}: gate ok ({ratio:.2f}x >= {gate:.2f}x at {top} threads)")
+
+    print(f"{path}: {len(series)} series OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,10 +11,15 @@
 //! * the blocking queue preserves FIFO under arbitrary committed
 //!   offer/take sequences;
 //! * the Section 5 checkers agree with a brute-force oracle on small
-//!   randomly generated histories.
+//!   randomly generated histories;
+//! * bounded version chains (and the counter's delta chains) never GC
+//!   a version a registered snapshot reader can still read, whatever
+//!   the install/register/deregister interleaving.
 
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+use std::sync::Arc;
+use transactional_boosting::core::{DeltaChain, MvccDomain, SnapshotGuard, VersionChain};
 use transactional_boosting::model::spec::SetOp;
 use transactional_boosting::model::{check_commit_order_serializable, SetSpec, TxnLabel};
 use transactional_boosting::prelude::*;
@@ -217,5 +222,110 @@ proptest! {
         }
         let checker_ok = check_commit_order_serializable(&SetSpec, &committed).is_ok();
         prop_assert_eq!(checker_ok, oracle_ok);
+    }
+
+    /// GC on a bounded version chain must never reclaim a version a
+    /// registered reader can still read: after every step of an
+    /// arbitrary install / tombstone / register / deregister script,
+    /// each live reader's `read_at` still answers exactly what was
+    /// newest at its registration. With no readers pinned, the chain
+    /// must also actually shrink back toward its bound.
+    #[test]
+    fn bounded_chains_never_drop_a_reader_visible_version(
+        bound in 1..6usize,
+        script in proptest::collection::vec((0..4u8, 0..100i32), 1..80),
+    ) {
+        let domain = Arc::new(MvccDomain::new());
+        let chain = VersionChain::new(Arc::clone(&domain), bound);
+        // Every committed (ts, value) in order — the GC-free oracle.
+        let mut log: Vec<(u64, Option<i32>)> = Vec::new();
+        let mut readers: Vec<(SnapshotGuard, Option<i32>)> = Vec::new();
+        for (op, v) in script {
+            match op {
+                0 | 1 => {
+                    // Commit protocol order: reserve, install, publish.
+                    let ts = domain.clock.reserve();
+                    let val = (op == 0).then_some(v);
+                    chain.install(ts, val);
+                    domain.clock.publish(ts);
+                    log.push((ts, val));
+                    if readers.is_empty() {
+                        prop_assert!(
+                            chain.len() <= bound.max(2),
+                            "unpinned chain failed to shrink: len {} bound {}",
+                            chain.len(), bound
+                        );
+                    }
+                }
+                2 => {
+                    let guard = domain.begin_snapshot();
+                    let expected = log
+                        .iter()
+                        .rev()
+                        .find(|&&(t, _)| t <= guard.ts())
+                        .and_then(|(_, v)| *v);
+                    readers.push((guard, expected));
+                }
+                _ => {
+                    if !readers.is_empty() {
+                        readers.remove(0);
+                    }
+                }
+            }
+            for (guard, expected) in &readers {
+                prop_assert_eq!(
+                    &chain.read_at(guard.ts()),
+                    expected,
+                    "reader pinned at ts {} lost its version",
+                    guard.ts()
+                );
+            }
+        }
+    }
+
+    /// Same property for the counter's delta chains: folding old
+    /// deltas into the base during GC must never change the prefix sum
+    /// any registered reader observes.
+    #[test]
+    fn bounded_delta_chains_preserve_registered_reader_sums(
+        bound in 1..6usize,
+        script in proptest::collection::vec((0..4u8, -5..6i64), 1..80),
+    ) {
+        let domain = Arc::new(MvccDomain::new());
+        let chain = DeltaChain::new(Arc::clone(&domain), bound);
+        let mut log: Vec<(u64, i64)> = Vec::new();
+        let mut readers: Vec<(SnapshotGuard, i64)> = Vec::new();
+        for (op, d) in script {
+            match op {
+                0 | 1 => {
+                    let ts = domain.clock.reserve();
+                    chain.install(ts, d);
+                    domain.clock.publish(ts);
+                    log.push((ts, d));
+                }
+                2 => {
+                    let guard = domain.begin_snapshot();
+                    let expected: i64 = log
+                        .iter()
+                        .filter(|&&(t, _)| t <= guard.ts())
+                        .map(|&(_, d)| d)
+                        .sum();
+                    readers.push((guard, expected));
+                }
+                _ => {
+                    if !readers.is_empty() {
+                        readers.remove(0);
+                    }
+                }
+            }
+            for (guard, expected) in &readers {
+                prop_assert_eq!(
+                    chain.read_at(guard.ts()),
+                    *expected,
+                    "reader pinned at ts {} saw its sum change",
+                    guard.ts()
+                );
+            }
+        }
     }
 }
