@@ -88,6 +88,10 @@ pub struct FileAnalysis {
     pub suppressions: Vec<Suppression>,
     /// Token-index ranges covered by `#[cfg(test)]` items.
     test_ranges: Vec<(usize, usize)>,
+    /// `(type name, body_open, body_close)` for each `impl` block —
+    /// the self type (`impl Trait for Ty` resolves to `Ty`; a macro
+    /// metavariable type resolves to its `$name`).
+    impl_ranges: Vec<(String, usize, usize)>,
     /// Lines that carry at least one code token.
     code_lines: BTreeSet<u32>,
 }
@@ -104,12 +108,14 @@ impl FileAnalysis {
             handlers: Vec::new(),
             suppressions: Vec::new(),
             test_ranges,
+            impl_ranges: Vec::new(),
             tokens,
             comments,
         };
         fa.functions = fa.find_functions();
         fa.handlers = fa.find_handlers();
         fa.suppressions = fa.find_suppressions();
+        fa.impl_ranges = fa.find_impl_ranges();
         fa
     }
 
@@ -171,6 +177,149 @@ impl FileAnalysis {
             }
         }
         self.tokens.len().saturating_sub(1)
+    }
+
+    /// The self-type name of the innermost `impl` block containing
+    /// token index `i`, if any.
+    pub fn impl_type_of(&self, i: usize) -> Option<&str> {
+        self.impl_ranges
+            .iter()
+            .filter(|&&(_, a, b)| i >= a && i <= b)
+            .min_by_key(|&&(_, a, b)| b - a)
+            .map(|(name, _, _)| name.as_str())
+    }
+
+    /// The identifier of `f`'s `&Txn` parameter (`txn` in
+    /// `fn add(&self, txn: &Txn, ..)`), if it has one.
+    pub fn txn_param(&self, f: &Function) -> Option<String> {
+        for i in f.sig.0..f.sig.1 {
+            if !self.is_ident(i, "Txn") {
+                continue;
+            }
+            // Walk back over `&` / `mut` / lifetimes to the `:` that
+            // ends the parameter name.
+            let mut j = i;
+            while j > f.sig.0 {
+                j -= 1;
+                match self.tokens.get(j) {
+                    Some(t) if t.kind == TokKind::Punct && t.text == "&" => {}
+                    Some(t) if t.kind == TokKind::Ident && t.text == "mut" => {}
+                    Some(t) if t.kind == TokKind::Lifetime => {}
+                    Some(t) if t.kind == TokKind::Punct && t.text == ":" => {
+                        if let Some(name) = self.tokens.get(j.wrapping_sub(1)) {
+                            if name.kind == TokKind::Ident && !self.is_punct(j + 1, ":") {
+                                return Some(name.text.clone());
+                            }
+                        }
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// Skip a `<...>` generic-parameter group starting at `open`
+    /// (single-character `<`/`>` tokens; `->` arrows inside are paired
+    /// so they never close the group). Returns the index *after* the
+    /// matching `>`.
+    fn skip_angle(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < self.tokens.len() {
+            if self.is_punct(j, "-") && self.is_punct(j + 1, ">") {
+                j += 2;
+                continue;
+            }
+            if self.is_punct(j, "<") {
+                depth += 1;
+            } else if self.is_punct(j, ">") {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Read a type path at `j` (`a::b::Name`, `$name`), returning the
+    /// last segment and the index after the path.
+    fn type_path_at(&self, mut j: usize) -> (Option<String>, usize) {
+        let mut last = None;
+        loop {
+            if self.is_punct(j, "$") {
+                if let Some(t) = self.tok(j + 1) {
+                    if t.kind == TokKind::Ident {
+                        last = Some(format!("${}", t.text));
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            } else if matches!(self.tok(j), Some(t) if t.kind == TokKind::Ident) {
+                let text = self.tokens[j].text.clone();
+                if matches!(text.as_str(), "for" | "where") {
+                    break;
+                }
+                last = Some(text);
+                j += 1;
+            } else {
+                break;
+            }
+            if self.is_punct(j, "<") {
+                j = self.skip_angle(j);
+            }
+            if self.is_punct(j, ":") && self.is_punct(j + 1, ":") {
+                j += 2;
+            } else {
+                break;
+            }
+        }
+        (last, j)
+    }
+
+    fn find_impl_ranges(&self) -> Vec<(String, usize, usize)> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < self.tokens.len() {
+            if !self.is_ident(i, "impl") {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            if self.is_punct(j, "<") {
+                j = self.skip_angle(j);
+            }
+            let (first, after) = self.type_path_at(j);
+            j = after;
+            let mut name = first;
+            if self.is_ident(j, "for") {
+                let (second, after) = self.type_path_at(j + 1);
+                j = after;
+                if second.is_some() {
+                    name = second;
+                }
+            }
+            // Skip the rest of the header (where clauses) to the body.
+            while j < self.tokens.len() && !self.is_punct(j, "{") && !self.is_punct(j, ";") {
+                if self.is_punct(j, "(") || self.is_punct(j, "[") {
+                    j = self.matching(j);
+                }
+                j += 1;
+            }
+            if self.is_punct(j, "{") {
+                if let Some(name) = name {
+                    out.push((name, j, self.matching(j)));
+                }
+            }
+            i += 1;
+        }
+        out
     }
 
     fn find_functions(&self) -> Vec<Function> {

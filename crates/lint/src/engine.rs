@@ -1,8 +1,18 @@
 //! Traversal, suppression matching, rendering, and the machine-readable
-//! unsafe inventory.
+//! artifacts (unsafe inventory, lock-order graph).
+//!
+//! Per file the engine runs the [`RuleKind::Line`] rules and the CFG
+//! dataflow pass ([`crate::rules::cfg_pass`]); the per-function CFGs it
+//! collects feed one workspace-level lock-order-graph pass
+//! ([`crate::lockgraph`]) whose `potential-deadlock` findings join the
+//! per-file diagnostics (and participate in suppression matching like
+//! any other rule).
 
-use crate::analysis::FileAnalysis;
-use crate::rules::{RULES, SUPPRESSION_MISSING_REASON};
+use crate::analysis::{FileAnalysis, Suppression};
+use crate::dataflow::TransferMutation;
+use crate::lockgraph::{self, FileCfgs, LockOrderGraph};
+use crate::rules::{self, RuleKind, RULES, SUPPRESSION_MISSING_REASON};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -65,6 +75,13 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     pub inventory: Vec<UnsafeSite>,
     pub files: usize,
+    /// The workspace lock-acquisition-order graph (built over every
+    /// linted file's transactional methods).
+    pub lock_graph: Option<LockOrderGraph>,
+    /// `path::fn` of bodies the parser could not handle, which were
+    /// checked with the line heuristics instead. Non-empty is a smell:
+    /// the self-tests pin this to zero for the real boosted sources.
+    pub parse_fallbacks: Vec<String>,
 }
 
 impl Report {
@@ -82,6 +99,7 @@ impl Report {
         self.diagnostics.append(&mut other.diagnostics);
         self.inventory.append(&mut other.inventory);
         self.files += other.files;
+        self.parse_fallbacks.append(&mut other.parse_fallbacks);
     }
 
     fn sort(&mut self) {
@@ -113,7 +131,7 @@ impl Report {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -130,17 +148,26 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Lint a single in-memory source file. `rel_path` decides which rules
-/// apply (rules filter on path), so mirror the workspace layout when
-/// testing (e.g. `crates/boosted/src/foo.rs`).
-pub fn lint_source(rel_path: &str, text: &str) -> Report {
+/// Per-file analysis result, pending the workspace-level pass.
+struct FileResult {
+    report: Report,
+    cfgs: FileCfgs,
+    /// Token index → line, for lock-graph witness rendering.
+    token_lines: BTreeMap<usize, u32>,
+    suppressions: Vec<Suppression>,
+}
+
+/// Run the Line rules and the CFG dataflow pass over one file and match
+/// its suppressions.
+fn lint_one(rel_path: &str, text: &str, mutation: TransferMutation) -> FileResult {
     let fa = FileAnalysis::build(rel_path, text);
     let mut out = RuleOutput::default();
     for rule in RULES {
-        if (rule.applies)(&fa.path) {
+        if rule.kind == RuleKind::Line && (rule.applies)(&fa.path) {
             (rule.run)(&fa, &mut out);
         }
     }
+    let (fn_cfgs, fallbacks) = rules::cfg_pass(&fa, mutation, &mut out);
     // Apply suppressions: a finding is silenced by an allow comment for
     // its rule targeting its line. Suppressions without a reason are
     // themselves findings — the policy requires a written justification.
@@ -169,11 +196,74 @@ pub fn lint_source(rel_path: &str, text: &str) -> Report {
             });
         }
     }
-    Report {
-        diagnostics: out.diags,
-        inventory: out.inventory,
-        files: 1,
+    FileResult {
+        report: Report {
+            diagnostics: out.diags,
+            inventory: out.inventory,
+            files: 1,
+            lock_graph: None,
+            parse_fallbacks: fallbacks
+                .into_iter()
+                .map(|f| format!("{rel_path}::{f}"))
+                .collect(),
+        },
+        cfgs: FileCfgs {
+            path: fa.path.clone(),
+            fns: fn_cfgs,
+        },
+        token_lines: fa
+            .tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, t.line))
+            .collect(),
+        suppressions: fa.suppressions.clone(),
     }
+}
+
+/// The workspace-level pass: build the lock-order graph over every
+/// file's CFGs, suppression-match its `potential-deadlock` findings,
+/// and assemble the final report.
+fn finish(files: Vec<FileResult>) -> Report {
+    let mut report = Report::default();
+    let mut cfgs: Vec<FileCfgs> = Vec::new();
+    let mut token_lines: BTreeMap<String, BTreeMap<usize, u32>> = BTreeMap::new();
+    let mut sups: BTreeMap<String, Vec<Suppression>> = BTreeMap::new();
+    for fr in files {
+        token_lines.insert(fr.cfgs.path.clone(), fr.token_lines);
+        sups.insert(fr.cfgs.path.clone(), fr.suppressions);
+        cfgs.push(fr.cfgs);
+        report.merge(fr.report);
+    }
+    let (graph, mut deadlocks) = lockgraph::build(&cfgs, &token_lines);
+    for d in &mut deadlocks {
+        if let Some(sup) = sups.get(&d.path).and_then(|v| {
+            v.iter()
+                .find(|s| s.rule == d.rule && s.target_line == d.line)
+        }) {
+            d.suppressed = Some(sup.reason.clone().unwrap_or_default());
+        }
+    }
+    report.diagnostics.append(&mut deadlocks);
+    report.lock_graph = Some(graph);
+    report.sort();
+    report
+}
+
+/// Lint a single in-memory source file. `rel_path` decides which rules
+/// apply (rules filter on path), so mirror the workspace layout when
+/// testing (e.g. `crates/boosted/src/foo.rs`). The lock-order graph is
+/// built over just this file (intra-file cycles still surface).
+pub fn lint_source(rel_path: &str, text: &str) -> Report {
+    finish(vec![lint_one(rel_path, text, TransferMutation::None)])
+}
+
+/// [`lint_source`] with a deliberately broken dataflow transfer/join
+/// function — the mutation-test hook proving the self-tests would catch
+/// an analyzer regression.
+#[doc(hidden)]
+pub fn lint_source_mutated(rel_path: &str, text: &str, mutation: TransferMutation) -> Report {
+    finish(vec![lint_one(rel_path, text, mutation)])
 }
 
 /// Recursively lint every `.rs` file under `root`. Paths in the report
@@ -183,13 +273,12 @@ pub fn lint_tree(root: &Path) -> io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut report = Report::default();
+    let mut results = Vec::new();
     for rel in files {
         let text = fs::read_to_string(root.join(&rel))?;
-        report.merge(lint_source(&rel, &text));
+        results.push(lint_one(&rel, &text, TransferMutation::None));
     }
-    report.sort();
-    Ok(report)
+    Ok(finish(results))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {

@@ -1,0 +1,416 @@
+//! Stage 3 of the CFG analyzer: the workspace lock-acquisition-order
+//! graph and static deadlock detection.
+//!
+//! Herlihy & Koskinen note (§6) that boosted transactions, unlike
+//! word-based STM, can deadlock when they acquire abstract locks in
+//! conflicting orders — the runtime today only *recovers* via lock
+//! timeouts. This pass turns those orders into a graph: nodes are
+//! abstract locks keyed by `ImplType.field` (the object table), and an
+//! edge `a → b` means some transactional method may acquire `b` while
+//! already holding `a` (locks are strict two-phase, so "holding" lasts
+//! to commit). Acquisition sequences are propagated one call-graph
+//! level through same-file txn helpers, using the callees' summaries.
+//! A cycle is a statically possible deadlock, reported as a
+//! `potential-deadlock` diagnostic carrying one witness acquisition
+//! path per edge. The graph is also emitted as
+//! `lock_order_graph.json` + DOT so CI archives it and ROADMAP item 3
+//! (commit-time canonical lock ordering) can consume the node order.
+
+use crate::cfg::{Cfg, Event};
+use crate::engine::{json_escape, Diagnostic};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// One analyzed function, as input to the graph pass.
+pub struct FnCfg {
+    pub fn_name: String,
+    /// `Type::fn` label for witnesses.
+    pub qualified: String,
+    /// Self type of the enclosing impl (lock-id prefix).
+    pub impl_type: String,
+    pub cfg: Cfg,
+}
+
+/// One analyzed file.
+pub struct FileCfgs {
+    pub path: String,
+    pub fns: Vec<FnCfg>,
+}
+
+/// A witnessed acquisition ordering: `func` acquires `from` (line
+/// `first_line`) and later `to` (line `second_line`), possibly through
+/// a helper call (`via`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeWitness {
+    pub func: String,
+    pub path: String,
+    pub first_line: u32,
+    pub second_line: u32,
+    pub via: Option<String>,
+}
+
+/// The lock-order graph: nodes, witnessed edges, and any cycles.
+#[derive(Debug, Default)]
+pub struct LockOrderGraph {
+    pub nodes: Vec<String>,
+    pub edges: Vec<(String, String, EdgeWitness)>,
+    /// Each cycle as a closed node sequence `[a, b, .., a]`, rotated to
+    /// start at its lexicographically smallest node.
+    pub cycles: Vec<Vec<String>>,
+}
+
+fn lock_id(impl_type: &str, lock_path: &str) -> String {
+    let field = lock_path.strip_prefix("self.").unwrap_or(lock_path);
+    format!("{impl_type}.{field}")
+}
+
+fn line_of(fa_lines: &BTreeMap<usize, u32>, idx: usize) -> u32 {
+    fa_lines.get(&idx).copied().unwrap_or(0)
+}
+
+/// Build the graph over every function in `files` and detect cycles.
+/// Returns the graph and one `potential-deadlock` diagnostic per cycle.
+pub fn build(
+    files: &[FileCfgs],
+    token_lines: &BTreeMap<String, BTreeMap<usize, u32>>,
+) -> (LockOrderGraph, Vec<Diagnostic>) {
+    // Pass 1: per-function may-acquire summaries, propagated through
+    // same-file calls (a few rounds bound the call-chain depth; the
+    // boosted crates' helper chains are depth ≤ 2).
+    let mut summaries: Vec<BTreeMap<&str, BTreeSet<String>>> = Vec::with_capacity(files.len());
+    for file in files {
+        let mut per_fn: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+        for f in &file.fns {
+            let entry = per_fn.entry(f.fn_name.as_str()).or_default();
+            for blk in &f.cfg.blocks {
+                for ev in &blk.events {
+                    if let Event::Acquire { lock, .. } = ev {
+                        entry.insert(lock_id(&f.impl_type, lock));
+                    }
+                }
+            }
+        }
+        summaries.push(per_fn);
+    }
+    for (fi, file) in files.iter().enumerate() {
+        for _round in 0..4 {
+            let mut grew = false;
+            for f in &file.fns {
+                let mut gained: BTreeSet<String> = BTreeSet::new();
+                for blk in &f.cfg.blocks {
+                    for ev in &blk.events {
+                        if let Event::Call { callee, .. } = ev {
+                            if let Some(s) = summaries[fi].get(callee.as_str()) {
+                                gained.extend(s.iter().cloned());
+                            }
+                        }
+                    }
+                }
+                let entry = summaries[fi].entry(f.fn_name.as_str()).or_default();
+                let before = entry.len();
+                entry.extend(gained);
+                grew |= entry.len() > before;
+            }
+            if !grew {
+                break;
+            }
+        }
+    }
+
+    // Pass 2: ordered may-held dataflow per function; every acquisition
+    // while something is already held becomes a witnessed edge.
+    let empty = BTreeMap::new();
+    let mut edges: BTreeMap<(String, String), EdgeWitness> = BTreeMap::new();
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    for (fi, file) in files.iter().enumerate() {
+        let lines = token_lines.get(&file.path).unwrap_or(&empty);
+        for f in &file.fns {
+            held_order_pass(f, file, &summaries[fi], lines, &mut edges, &mut nodes);
+        }
+    }
+
+    let edge_list: Vec<(String, String, EdgeWitness)> = edges
+        .iter()
+        .map(|((a, b), w)| (a.clone(), b.clone(), w.clone()))
+        .collect();
+    let cycles = find_cycles(&nodes, &edge_list);
+
+    let diags = cycles
+        .iter()
+        .map(|cycle| {
+            let mut msg = format!(
+                "abstract locks can be acquired in conflicting orders (cycle {}) — two \
+                 transactions interleaving these methods deadlock until a lock timeout fires",
+                cycle.join(" -> ")
+            );
+            let mut anchor: Option<&EdgeWitness> = None;
+            for pair in cycle.windows(2) {
+                if let Some(w) = edges.get(&(pair[0].clone(), pair[1].clone())) {
+                    let via = w
+                        .via
+                        .as_deref()
+                        .map(|v| format!(" via `{v}`"))
+                        .unwrap_or_default();
+                    let _ = write!(
+                        msg,
+                        "; witness: `{}` acquires `{}` ({}:{}) then `{}` ({}:{}){via}",
+                        w.func, pair[0], w.path, w.first_line, pair[1], w.path, w.second_line,
+                    );
+                    anchor.get_or_insert(w);
+                }
+            }
+            let (path, line) =
+                anchor.map_or((String::new(), 1), |w| (w.path.clone(), w.first_line));
+            Diagnostic {
+                rule: "potential-deadlock",
+                path,
+                line,
+                col: 1,
+                message: msg,
+                suppressed: None,
+            }
+        })
+        .collect();
+
+    (
+        LockOrderGraph {
+            nodes: nodes.into_iter().collect(),
+            edges: edge_list,
+            cycles,
+        },
+        diags,
+    )
+}
+
+fn held_order_pass(
+    f: &FnCfg,
+    file: &FileCfgs,
+    summary: &BTreeMap<&str, BTreeSet<String>>,
+    lines: &BTreeMap<usize, u32>,
+    edges: &mut BTreeMap<(String, String), EdgeWitness>,
+    nodes: &mut BTreeSet<String>,
+) {
+    let n = f.cfg.blocks.len();
+    let preds = f.cfg.preds();
+    // Per-block ordered may-held set `(lock, acquire line)`.
+    let mut outs: Vec<Option<Vec<(String, u32)>>> = vec![None; n];
+    let cap = 4 * n + 16;
+    for _ in 0..cap {
+        let mut changed = false;
+        for b in 0..n {
+            let mut held: Vec<(String, u32)> = Vec::new();
+            if b > 0 {
+                let mut any = false;
+                for &p in &preds[b] {
+                    if let Some(ph) = outs[p].as_ref() {
+                        any = true;
+                        for entry in ph {
+                            if !held.iter().any(|(l, _)| l == &entry.0) {
+                                held.push(entry.clone());
+                            }
+                        }
+                    }
+                }
+                if !any {
+                    continue;
+                }
+            }
+            for ev in &f.cfg.blocks[b].events {
+                match ev {
+                    Event::Acquire { lock, idx } => {
+                        let l = lock_id(&f.impl_type, lock);
+                        let line = line_of(lines, *idx);
+                        nodes.insert(l.clone());
+                        for (h, hl) in &held {
+                            if *h != l {
+                                edges.entry((h.clone(), l.clone())).or_insert_with(|| {
+                                    EdgeWitness {
+                                        func: f.qualified.clone(),
+                                        path: file.path.clone(),
+                                        first_line: *hl,
+                                        second_line: line,
+                                        via: None,
+                                    }
+                                });
+                            }
+                        }
+                        if !held.iter().any(|(h, _)| h == &l) {
+                            held.push((l, line));
+                        }
+                    }
+                    Event::Call { callee, idx } => {
+                        let line = line_of(lines, *idx);
+                        let Some(callee_locks) = summary.get(callee.as_str()) else {
+                            continue;
+                        };
+                        for cl in callee_locks {
+                            nodes.insert(cl.clone());
+                            for (h, hl) in &held {
+                                if h != cl {
+                                    edges.entry((h.clone(), cl.clone())).or_insert_with(|| {
+                                        EdgeWitness {
+                                            func: f.qualified.clone(),
+                                            path: file.path.clone(),
+                                            first_line: *hl,
+                                            second_line: line,
+                                            via: Some(callee.clone()),
+                                        }
+                                    });
+                                }
+                            }
+                        }
+                        for cl in callee_locks {
+                            if !held.iter().any(|(h, _)| h == cl) {
+                                held.push((cl.clone(), line));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if outs[b].as_ref() != Some(&held) {
+                outs[b] = Some(held);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// DFS cycle enumeration with canonical rotation; distinct cycles only.
+fn find_cycles(
+    nodes: &BTreeSet<String>,
+    edges: &[(String, String, EdgeWitness)],
+) -> Vec<Vec<String>> {
+    let mut succs: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b, _) in edges {
+        succs.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let node_list: Vec<&str> = nodes.iter().map(String::as_str).collect();
+    let mut color: BTreeMap<&str, Color> = node_list.iter().map(|&n| (n, Color::White)).collect();
+
+    fn dfs<'a>(
+        n: &'a str,
+        succs: &BTreeMap<&'a str, Vec<&'a str>>,
+        color: &mut BTreeMap<&'a str, Color>,
+        stack: &mut Vec<&'a str>,
+        cycles: &mut BTreeSet<Vec<String>>,
+    ) {
+        color.insert(n, Color::Gray);
+        stack.push(n);
+        for &m in succs.get(n).map(Vec::as_slice).unwrap_or(&[]) {
+            match color.get(m).copied().unwrap_or(Color::White) {
+                Color::Gray => {
+                    let start = stack.iter().position(|&x| x == m).unwrap_or(0);
+                    let mut cyc: Vec<String> =
+                        stack[start..].iter().map(|s| (*s).to_string()).collect();
+                    // Canonical rotation: start at the smallest node.
+                    let min_pos = (0..cyc.len()).min_by_key(|&i| &cyc[i]).unwrap_or(0);
+                    cyc.rotate_left(min_pos);
+                    let mut closed = cyc.clone();
+                    closed.push(closed[0].clone());
+                    cycles.insert(closed);
+                }
+                Color::White => dfs(m, succs, color, stack, cycles),
+                Color::Black => {}
+            }
+        }
+        stack.pop();
+        color.insert(n, Color::Black);
+    }
+
+    let mut stack = Vec::new();
+    for &n in &node_list {
+        if color.get(n).copied() == Some(Color::White) {
+            dfs(n, &succs, &mut color, &mut stack, &mut seen_cycles);
+        }
+    }
+    seen_cycles.into_iter().collect()
+}
+
+impl LockOrderGraph {
+    /// Hand-rolled JSON (the crate is dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"nodes\": [");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", json_escape(n));
+        }
+        out.push_str("],\n  \"edges\": [\n");
+        for (i, (a, b, w)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let _ = write!(
+                out,
+                "    {{\"from\": \"{}\", \"to\": \"{}\", \"func\": \"{}\", \"file\": \"{}\", \
+                 \"lines\": [{}, {}]{}}}",
+                json_escape(a),
+                json_escape(b),
+                json_escape(&w.func),
+                json_escape(&w.path),
+                w.first_line,
+                w.second_line,
+                w.via
+                    .as_deref()
+                    .map(|v| format!(", \"via\": \"{}\"", json_escape(v)))
+                    .unwrap_or_default()
+            );
+        }
+        out.push_str("\n  ],\n  \"cycles\": [");
+        for (i, c) in self.cycles.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "[{}]",
+                c.iter()
+                    .map(|n| format!("\"{}\"", json_escape(n)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// GraphViz DOT rendering (cycle edges drawn red).
+    pub fn to_dot(&self) -> String {
+        let mut cyc_edges: BTreeSet<(String, String)> = BTreeSet::new();
+        for c in &self.cycles {
+            for pair in c.windows(2) {
+                cyc_edges.insert((pair[0].clone(), pair[1].clone()));
+            }
+        }
+        let mut out = String::from("digraph lock_order {\n  rankdir=LR;\n");
+        for n in &self.nodes {
+            let _ = writeln!(out, "  \"{n}\";");
+        }
+        for (a, b, w) in &self.edges {
+            let color = if cyc_edges.contains(&(a.clone(), b.clone())) {
+                ", color=red, fontcolor=red"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  \"{a}\" -> \"{b}\" [label=\"{} {}:{}-{}\"{color}];",
+                w.func, w.path, w.first_line, w.second_line
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}

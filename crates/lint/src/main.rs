@@ -1,20 +1,21 @@
 //! CLI for the boosting-discipline analyzer.
 //!
 //! ```text
-//! txboost-lint --workspace [--deny-all] [--inventory PATH] [--quiet]
+//! txboost-lint --workspace [--deny-all] [--inventory PATH] [--sarif PATH] [--quiet]
 //! txboost-lint --path DIR
 //! txboost-lint --list-rules
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use txboost_lint::{lint_tree, Report, RULES};
+use txboost_lint::{lint_tree, to_sarif, Report, RULES};
 
 struct Args {
     workspace: bool,
     path: Option<PathBuf>,
     deny_all: bool,
     inventory: Option<PathBuf>,
+    sarif: Option<PathBuf>,
     list_rules: bool,
     quiet: bool,
 }
@@ -25,6 +26,7 @@ fn parse_args() -> Result<Args, String> {
         path: None,
         deny_all: false,
         inventory: None,
+        sarif: None,
         list_rules: false,
         quiet: false,
     };
@@ -41,17 +43,22 @@ fn parse_args() -> Result<Args, String> {
                 let p = it.next().ok_or("--inventory requires a file argument")?;
                 args.inventory = Some(PathBuf::from(p));
             }
+            "--sarif" => {
+                let p = it.next().ok_or("--sarif requires a file argument")?;
+                args.sarif = Some(PathBuf::from(p));
+            }
             "--list-rules" => args.list_rules = true,
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
                     "txboost-lint: boosting-discipline static analyzer\n\n\
-                     USAGE:\n  txboost-lint --workspace [--deny-all] [--inventory PATH] [--quiet]\n  \
+                     USAGE:\n  txboost-lint --workspace [--deny-all] [--inventory PATH] [--sarif PATH] [--quiet]\n  \
                      txboost-lint --path DIR [--deny-all]\n  txboost-lint --list-rules\n\n\
                      FLAGS:\n  --workspace       lint the enclosing cargo workspace\n  \
                      --path DIR        lint a directory tree instead\n  \
                      --deny-all        exit non-zero on any unsuppressed finding\n  \
                      --inventory PATH  where to write unsafe_inventory.json\n  \
+                     --sarif PATH      where to write a SARIF 2.1.0 log of all findings\n  \
                      --list-rules      print the rule table and exit\n  \
                      --quiet           only print the summary line"
                 );
@@ -116,8 +123,8 @@ fn run() -> Result<ExitCode, String> {
             println!("{}\n", d.render());
         }
     }
-    // The inventory is written for workspace runs (CI uploads it) or
-    // wherever --inventory points.
+    // The inventory and lock-order graph are written for workspace runs
+    // (CI uploads them) or wherever the flags point.
     let inv_path = args
         .inventory
         .clone()
@@ -126,11 +133,32 @@ fn run() -> Result<ExitCode, String> {
         std::fs::write(p, report.inventory_json())
             .map_err(|e| format!("failed to write {}: {e}", p.display()))?;
     }
+    let mut graph_note = String::new();
+    if let (true, Some(g)) = (args.workspace, report.lock_graph.as_ref()) {
+        for (name, text) in [
+            ("lock_order_graph.json", g.to_json()),
+            ("lock_order_graph.dot", g.to_dot()),
+        ] {
+            let p = root.join(name);
+            std::fs::write(&p, text)
+                .map_err(|e| format!("failed to write {}: {e}", p.display()))?;
+        }
+        graph_note = format!(
+            ", lock graph: {} lock(s) / {} order edge(s) / {} cycle(s)",
+            g.nodes.len(),
+            g.edges.len(),
+            g.cycles.len()
+        );
+    }
+    if let Some(p) = &args.sarif {
+        std::fs::write(p, to_sarif(&report))
+            .map_err(|e| format!("failed to write {}: {e}", p.display()))?;
+    }
 
     let unsuppressed = report.unsuppressed().count();
     let suppressed = report.suppressed().count();
     println!(
-        "txboost-lint: {} file(s), {} rule(s): {} finding(s), {} suppressed, {} unsafe site(s) inventoried{}",
+        "txboost-lint: {} file(s), {} rule(s): {} finding(s), {} suppressed, {} unsafe site(s) inventoried{}{}",
         report.files,
         RULES.len(),
         unsuppressed,
@@ -139,8 +167,17 @@ fn run() -> Result<ExitCode, String> {
         inv_path
             .as_deref()
             .map(|p: &Path| format!(" -> {}", p.display()))
-            .unwrap_or_default()
+            .unwrap_or_default(),
+        graph_note
     );
+    if !report.parse_fallbacks.is_empty() {
+        eprintln!(
+            "txboost-lint: note: {} function(s) fell back to line heuristics (parser did not \
+             handle the body): {}",
+            report.parse_fallbacks.len(),
+            report.parse_fallbacks.join(", ")
+        );
+    }
     if args.deny_all && unsuppressed > 0 {
         return Ok(ExitCode::FAILURE);
     }

@@ -1,11 +1,15 @@
-//! The declarative rule table and the six boosting-discipline checks.
+//! The declarative rule table and the boosting-discipline checks.
 //!
 //! Each rule is a row in [`RULES`]: a name (used in diagnostics and in
 //! `// txboost-lint: allow(<name>)` suppressions), a one-line summary,
-//! the paper section that justifies it, a path filter, and a check
-//! function over one file's [`FileAnalysis`]. The engine owns
+//! the paper section that justifies it, a path filter, and an engine
+//! [`RuleKind`]. [`RuleKind::Line`] rules are token-level check
+//! functions over one file's [`FileAnalysis`]; [`RuleKind::Cfg`] rules
+//! are implemented by the lockset dataflow pass ([`cfg_pass`]) over the
+//! parsed per-function CFGs; [`RuleKind::Workspace`] rules run once
+//! over the whole file set (the lock-order graph). The engine owns
 //! traversal, suppression matching and rendering — adding a rule means
-//! adding a row here, nothing else.
+//! adding a row here plus its check.
 //!
 //! Conventions the rules lean on (documented in DESIGN.md §10):
 //! boosted objects keep their `txboost-linearizable` base object in a
@@ -15,8 +19,26 @@
 //! inventory covers them regardless.
 
 use crate::analysis::{FileAnalysis, Function, HandlerKind};
+use crate::cfg;
+use crate::dataflow::{self, TransferMutation};
 use crate::engine::{Diagnostic, RuleOutput, UnsafeSite};
+use crate::lockgraph;
+use crate::parser;
 use crate::source::TokKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which engine stage implements a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Token-level check run per file via [`Rule::run`].
+    Line,
+    /// Path-sensitive check run by the per-function lockset dataflow
+    /// ([`cfg_pass`]); [`Rule::run`] is a no-op for these rows.
+    Cfg,
+    /// Whole-file-set check (the lock-order graph); run by the engine
+    /// after every file is analyzed.
+    Workspace,
+}
 
 /// One row of the rule table.
 pub struct Rule {
@@ -29,7 +51,9 @@ pub struct Rule {
     pub paper: &'static str,
     /// Whether the rule examines the file at `path` at all.
     pub applies: fn(path: &str) -> bool,
-    /// The check itself.
+    /// Which stage implements the rule.
+    pub kind: RuleKind,
+    /// The check itself (Line rules only; no-op for Cfg/Workspace).
     pub run: fn(&FileAnalysis, &mut RuleOutput),
 }
 
@@ -42,30 +66,50 @@ pub const SUPPRESSION_MISSING_REASON: &str = "suppression-missing-reason";
 pub const RULES: &[Rule] = &[
     Rule {
         name: "lock-before-mutate",
-        summary: "base-object calls in boosted methods must follow an abstract-lock acquisition",
+        summary: "base-object calls in boosted methods must be lock-covered on every path",
         paper: "§3 Rule 2: acquire the locks associated with a method's invocation before calling it",
         applies: is_boosted_src,
-        run: lock_before_mutate,
+        kind: RuleKind::Cfg,
+        run: cfg_rule_stub,
     },
     Rule {
         name: "inverse-pairing",
-        summary: "every mutating base call must be followed by exactly one undo/deferred registration; forward-order pushes are flagged",
+        summary: "no path may reach the exit with a mutating base call's inverse unlogged; forward-order pushes are flagged",
         paper: "§3 Rule 3: log the inverse after the call succeeds, replay in reverse order on abort",
         applies: is_boosted_src,
-        run: inverse_pairing,
+        kind: RuleKind::Cfg,
+        run: cfg_rule_stub,
     },
     Rule {
         name: "two-phase-discipline",
-        summary: "no explicit lock release or guard drop before commit/abort",
+        summary: "no reachable lock release or guard drop before commit/abort",
         paper: "§3 Rule 2 (strict two-phase locking): locks are released only at commit or abort",
         applies: is_boosted_src,
-        run: two_phase_discipline,
+        kind: RuleKind::Cfg,
+        run: cfg_rule_stub,
+    },
+    Rule {
+        name: "branch-inverse-divergence",
+        summary: "an inverse logged on one branch but not every path must be conditioned on the mutation's result",
+        paper: "§3 Rule 3: abort replays the log — a path that mutated without logging cannot be undone",
+        applies: is_boosted_src,
+        kind: RuleKind::Cfg,
+        run: cfg_rule_stub,
+    },
+    Rule {
+        name: "potential-deadlock",
+        summary: "the workspace lock-order graph must be acyclic; cycles are reported with witness acquisition paths",
+        paper: "§6: boosted transactions deadlock when abstract locks are acquired in conflicting orders; timeouts only recover",
+        applies: is_boosted_src,
+        kind: RuleKind::Workspace,
+        run: cfg_rule_stub,
     },
     Rule {
         name: "handler-panic-audit",
         summary: "no unwrap/expect/panic!/indexing inside undo, deferred-action, or server retry closures",
         paper: "§4: commit/abort handlers run inside the transaction runtime; a panic there poisons recovery",
         applies: |_| true,
+        kind: RuleKind::Line,
         run: handler_panic_audit,
     },
     Rule {
@@ -73,6 +117,7 @@ pub const RULES: &[Rule] = &[
         summary: "every unsafe block/fn/impl must carry a // SAFETY: comment (or a # Safety doc section)",
         paper: "workspace policy: boosting's correctness argument assumes the base objects' memory safety",
         applies: |_| true,
+        kind: RuleKind::Line,
         run: unsafe_inventory,
     },
     Rule {
@@ -80,9 +125,14 @@ pub const RULES: &[Rule] = &[
         summary: "interleaving-relevant sites must carry det::yield_point hooks for the deterministic harness",
         paper: "§5 verification: the PR-2 schedule explorer only covers sites that yield to it",
         applies: |p| YIELD_SITES.iter().any(|(suffix, _, _)| p.ends_with(suffix)),
+        kind: RuleKind::Line,
         run: yield_point_coverage,
     },
 ];
+
+/// Placeholder `run` for rows implemented by [`cfg_pass`] or the
+/// workspace lock-graph pass — the engine dispatches those by kind.
+fn cfg_rule_stub(_: &FileAnalysis, _: &mut RuleOutput) {}
 
 fn is_boosted_src(path: &str) -> bool {
     path.contains("crates/boosted/src/")
@@ -90,7 +140,7 @@ fn is_boosted_src(path: &str) -> bool {
 
 /// Base-object methods that read without mutating the abstract state —
 /// these need no inverse.
-const BASE_READ_METHODS: &[&str] = &[
+pub(crate) const BASE_READ_METHODS: &[&str] = &[
     "contains",
     "contains_key",
     "get",
@@ -110,7 +160,8 @@ const BASE_READ_METHODS: &[&str] = &[
 
 /// Method names that acquire an abstract lock (AbstractLock,
 /// KeyLockMap, TxMutex, TxRwLock, TSemaphore disciplines).
-const ACQUIRE_METHODS: &[&str] = &["lock", "read_lock", "write_lock", "acquire", "try_acquire"];
+pub(crate) const ACQUIRE_METHODS: &[&str] =
+    &["lock", "read_lock", "write_lock", "acquire", "try_acquire"];
 
 /// Sites the deterministic harness must be able to preempt:
 /// (path suffix, function name, required identifiers in the body).
@@ -232,12 +283,116 @@ fn diag(out: &mut RuleOutput, fa: &FileAnalysis, rule: &'static str, i: usize, m
     });
 }
 
+// ------------------------------------------------------------ CFG pass
+
+/// Stem of `crates/x/src/foo.rs` → `foo`, the impl-type fallback for
+/// free functions.
+fn file_stem(path: &str) -> String {
+    path.rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".rs")
+        .to_string()
+}
+
+/// Run the path-sensitive checks over every transactional method of
+/// `fa`: parse the body, lower to a CFG, and run the lockset dataflow
+/// ([`crate::dataflow`]). Returns the per-function CFGs (input to the
+/// workspace lock-order graph) and the names of functions whose bodies
+/// the parser could not handle — those fall back to the PR-4 line
+/// heuristics so unknown syntax degrades to the old coverage instead of
+/// silence.
+pub fn cfg_pass(
+    fa: &FileAnalysis,
+    mutation: TransferMutation,
+    out: &mut RuleOutput,
+) -> (Vec<lockgraph::FnCfg>, Vec<String>) {
+    if !is_boosted_src(&fa.path) || fa.is_test_file() {
+        return (Vec::new(), Vec::new());
+    }
+    let local_txn_fns: BTreeSet<String> = txn_methods(fa).map(|(f, _)| f.name.clone()).collect();
+    let mut local_acquires: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
+    for (f, _) in txn_methods(fa) {
+        local_acquires
+            .entry(f.name.clone())
+            .or_default()
+            .extend(cfg::syntactic_acquires(fa, f));
+    }
+    let ctx = dataflow::FnContext {
+        fa,
+        local_acquires: &local_acquires,
+        mutation,
+    };
+    let mut fn_cfgs = Vec::new();
+    let mut fallbacks = Vec::new();
+    for (f, body) in txn_methods(fa) {
+        match parser::parse_body(fa, body) {
+            Ok(block) => {
+                let g = cfg::build_cfg(fa, f, &block, &local_txn_fns);
+                dataflow::check_function(&ctx, &g, out);
+                let impl_type = fa
+                    .impl_type_of(f.sig.0)
+                    .map_or_else(|| file_stem(&fa.path), str::to_string);
+                fn_cfgs.push(lockgraph::FnCfg {
+                    fn_name: f.name.clone(),
+                    qualified: format!("{impl_type}::{}", f.name),
+                    impl_type,
+                    cfg: g,
+                });
+            }
+            Err(_) => {
+                fallbacks.push(f.name.clone());
+                fallback_line_rules(fa, body, out);
+            }
+        }
+    }
+    (fn_cfgs, fallbacks)
+}
+
+/// Per-function fallback when a body does not parse: the PR-4 line
+/// heuristics for the three disciplines.
+pub(crate) fn fallback_line_rules(fa: &FileAnalysis, body: (usize, usize), out: &mut RuleOutput) {
+    lock_before_mutate_in(fa, body.0, body.1, out);
+    inverse_pairing_in(fa, body.0, body.1, out);
+    two_phase_discipline_in(fa, body.0, body.1, out);
+}
+
+/// The PR-4 line-heuristic checks, kept callable whole-file so the
+/// regression tests can show differentially what the CFG rules catch
+/// that these miss (e.g. an inverse logged a few statements after its
+/// mutation, or a lock acquired on only one branch).
+pub mod legacy {
+    use super::{
+        inverse_pairing_in, lock_before_mutate_in, two_phase_discipline_in, txn_methods,
+        FileAnalysis, RuleOutput,
+    };
+
+    pub fn lock_before_mutate(fa: &FileAnalysis, out: &mut RuleOutput) {
+        for (_f, (b0, b1)) in txn_methods(fa) {
+            lock_before_mutate_in(fa, b0, b1, out);
+        }
+    }
+
+    pub fn inverse_pairing(fa: &FileAnalysis, out: &mut RuleOutput) {
+        for (_f, (b0, b1)) in txn_methods(fa) {
+            inverse_pairing_in(fa, b0, b1, out);
+        }
+    }
+
+    pub fn two_phase_discipline(fa: &FileAnalysis, out: &mut RuleOutput) {
+        for (_f, (b0, b1)) in txn_methods(fa) {
+            two_phase_discipline_in(fa, b0, b1, out);
+        }
+    }
+}
+
 // ---------------------------------------------------------------- rules
 
 /// Rule 2 of the methodology: in a boosted method, the abstract lock
-/// must be acquired before the base object is touched.
-fn lock_before_mutate(fa: &FileAnalysis, out: &mut RuleOutput) {
-    for (_f, (b0, b1)) in txn_methods(fa) {
+/// must be acquired before the base object is touched. (Line-heuristic
+/// variant; the CFG pass supersedes it when the body parses.)
+fn lock_before_mutate_in(fa: &FileAnalysis, b0: usize, b1: usize, out: &mut RuleOutput) {
+    {
         let mut lock_held = false;
         for i in b0..=b1 {
             if fa.in_handler(i) {
@@ -270,8 +425,9 @@ fn lock_before_mutate(fa: &FileAnalysis, out: &mut RuleOutput) {
 /// Rule 3: every mutating base call on the success path must be
 /// followed by exactly one undo/deferred registration; an undo pushed
 /// *before* its base call is flagged as a forward-order push.
-fn inverse_pairing(fa: &FileAnalysis, out: &mut RuleOutput) {
-    for (_f, (b0, b1)) in txn_methods(fa) {
+/// (Line-heuristic variant; the CFG pass supersedes it.)
+fn inverse_pairing_in(fa: &FileAnalysis, b0: usize, b1: usize, out: &mut RuleOutput) {
+    {
         let mut mutators: Vec<usize> = Vec::new(); // method-name token idx
         let mut regs: Vec<(usize, HandlerKind)> = Vec::new(); // name_idx
         for i in b0..=b1 {
@@ -339,8 +495,9 @@ fn inverse_pairing(fa: &FileAnalysis, out: &mut RuleOutput) {
 
 /// Strict two-phase locking: a boosted method must not release a lock
 /// (or drop a guard) on its own — release happens at commit/abort.
-fn two_phase_discipline(fa: &FileAnalysis, out: &mut RuleOutput) {
-    for (_f, (b0, b1)) in txn_methods(fa) {
+/// (Line-heuristic variant; the CFG pass supersedes it.)
+fn two_phase_discipline_in(fa: &FileAnalysis, b0: usize, b1: usize, out: &mut RuleOutput) {
+    {
         for i in b0..=b1 {
             if fa.in_handler(i) {
                 continue;

@@ -1,0 +1,114 @@
+//! SARIF 2.1.0 rendering of a lint [`Report`], hand-rolled like the
+//! other JSON emitters (the crate stays dependency-free).
+//!
+//! The output targets code-scanning consumers (GitHub uploads, IDE
+//! SARIF viewers): one `run` with the rule table in
+//! `tool.driver.rules`, one `result` per diagnostic, and in-source
+//! suppressions carried through so suppressed findings render as
+//! reviewed rather than vanish.
+
+use crate::engine::{json_escape, Report};
+use crate::rules::{RULES, SUPPRESSION_MISSING_REASON};
+use std::fmt::Write as _;
+
+/// Serialize `report` as a single-run SARIF 2.1.0 log.
+pub fn to_sarif(report: &Report) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \
+         \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \
+         \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \
+         \"txboost-lint\",\n          \"informationUri\": \
+         \"https://dl.acm.org/doi/10.1145/1345206.1345237\",\n          \"rules\": [\n",
+    );
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"help\": {{\"text\": \"{}\"}}}}",
+            json_escape(r.name),
+            json_escape(r.summary),
+            json_escape(r.paper)
+        );
+    }
+    // The meta-rule for reasonless suppressions is not in the table but
+    // can appear in results; declare it so ruleIds always resolve.
+    let _ = write!(
+        out,
+        ",\n            {{\"id\": \"{SUPPRESSION_MISSING_REASON}\", \"shortDescription\": \
+         {{\"text\": \"every allow comment must carry a reason\"}}, \"help\": {{\"text\": \
+         \"suppression policy: every allow must explain itself\"}}}}"
+    );
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "        {{\"ruleId\": \"{}\", \"level\": \"warning\", \"message\": {{\"text\": \
+             \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]",
+            json_escape(d.rule),
+            json_escape(&d.message),
+            json_escape(&d.path),
+            d.line.max(1),
+            d.col.max(1)
+        );
+        if let Some(reason) = &d.suppressed {
+            let _ = write!(
+                out,
+                ", \"suppressions\": [{{\"kind\": \"inSource\", \"justification\": \"{}\"}}]",
+                json_escape(reason)
+            );
+        }
+        out.push('}');
+    }
+    out.push_str("\n      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Diagnostic;
+
+    #[test]
+    fn sarif_has_schema_rules_and_suppressions() {
+        let mut rep = Report::default();
+        rep.diagnostics.push(Diagnostic {
+            rule: "lock-before-mutate",
+            path: "crates/boosted/src/x.rs".into(),
+            line: 7,
+            col: 9,
+            message: "needs a \"lock\"".into(),
+            suppressed: None,
+        });
+        rep.diagnostics.push(Diagnostic {
+            rule: "inverse-pairing",
+            path: "crates/boosted/src/y.rs".into(),
+            line: 3,
+            col: 1,
+            message: "m".into(),
+            suppressed: Some("reviewed: residue purge".into()),
+        });
+        let s = to_sarif(&rep);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"txboost-lint\""));
+        // Every table rule is declared.
+        for r in RULES {
+            assert!(
+                s.contains(&format!("\"id\": \"{}\"", r.name)),
+                "{} missing",
+                r.name
+            );
+        }
+        assert!(s.contains("\"ruleId\": \"lock-before-mutate\""));
+        assert!(s.contains("needs a \\\"lock\\\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("\"kind\": \"inSource\""));
+        assert!(s.contains("reviewed: residue purge"));
+    }
+}

@@ -1,0 +1,46 @@
+//! The re-ordered twin of the `lockcycle` wallet: `refund` acquires
+//! `funds` before `audit`, agreeing with the order `spend` establishes
+//! through `audit_append`. The lock-order graph has the same edges in
+//! one direction only — acyclic, so no `potential-deadlock` fires.
+
+use std::sync::Arc;
+
+pub struct BoostedWallet {
+    base: Arc<BaseWallet>,
+    funds: TxMutex,
+    audit: TxMutex,
+}
+
+impl BoostedWallet {
+    pub fn spend(&self, txn: &Txn, amount: u64) -> TxResult<()> {
+        self.funds.lock(txn)?;
+        self.base.withdraw(amount);
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.deposit(amount);
+        });
+        self.audit_append(txn, amount)?;
+        Ok(())
+    }
+
+    pub fn refund(&self, txn: &Txn, amount: u64) -> TxResult<()> {
+        self.funds.lock(txn)?;
+        self.audit.lock(txn)?;
+        self.base.deposit(amount);
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.withdraw(amount);
+        });
+        Ok(())
+    }
+
+    fn audit_append(&self, txn: &Txn, amount: u64) -> TxResult<()> {
+        self.audit.lock(txn)?;
+        self.base.append_audit(amount);
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.truncate_audit();
+        });
+        Ok(())
+    }
+}

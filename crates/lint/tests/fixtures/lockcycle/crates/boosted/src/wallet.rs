@@ -1,0 +1,47 @@
+//! A planted lock-order cycle that crosses the call graph: `spend`
+//! holds `funds` and reaches `audit` through the `audit_append` helper,
+//! while `refund` acquires `audit` before `funds`. Neither method is
+//! wrong in isolation — the cycle only exists workspace-wide, which is
+//! exactly what the lock-order graph pass must surface.
+
+use std::sync::Arc;
+
+pub struct BoostedWallet {
+    base: Arc<BaseWallet>,
+    funds: TxMutex,
+    audit: TxMutex,
+}
+
+impl BoostedWallet {
+    pub fn spend(&self, txn: &Txn, amount: u64) -> TxResult<()> {
+        self.funds.lock(txn)?;
+        self.base.withdraw(amount);
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.deposit(amount);
+        });
+        self.audit_append(txn, amount)?;
+        Ok(())
+    }
+
+    pub fn refund(&self, txn: &Txn, amount: u64) -> TxResult<()> {
+        self.audit.lock(txn)?;
+        self.funds.lock(txn)?;
+        self.base.deposit(amount);
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.withdraw(amount);
+        });
+        Ok(())
+    }
+
+    fn audit_append(&self, txn: &Txn, amount: u64) -> TxResult<()> {
+        self.audit.lock(txn)?;
+        self.base.append_audit(amount);
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.truncate_audit();
+        });
+        Ok(())
+    }
+}

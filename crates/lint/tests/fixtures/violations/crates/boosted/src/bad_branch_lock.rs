@@ -1,0 +1,26 @@
+//! Violates lock-before-mutate path-sensitively: the abstract lock is
+//! acquired on only one branch, so the base call is reachable with no
+//! lock held. The PR-4 line heuristic saw an acquisition earlier in the
+//! token stream and stayed silent; the CFG rule's must-intersection at
+//! the join catches the uncovered path.
+
+use std::sync::Arc;
+
+pub struct BadBranchLockSet {
+    base: Arc<BaseSet>,
+    lock: TxMutex,
+}
+
+impl BadBranchLockSet {
+    pub fn add(&self, txn: &Txn, key: u64) -> TxResult<()> {
+        if key % 2 == 0 {
+            self.lock.lock(txn)?;
+        }
+        self.base.add(key);
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.remove(&key);
+        });
+        Ok(())
+    }
+}

@@ -1,0 +1,27 @@
+//! Violates inverse-pairing in a way the PR-4 adjacency heuristic could
+//! not see: the undo *is* logged after the mutation, but a fallible call
+//! sits between them — on its error path the `?` leaves the method with
+//! the mutation unlogged, so abort cannot undo it. Only the CFG rule's
+//! path-sensitivity catches this (the old line rule pairs the mutation
+//! with the later registration and stays silent).
+
+use std::sync::Arc;
+
+pub struct BadDistanceBag {
+    base: Arc<BaseBag>,
+    lock: TxMutex,
+    journal: Journal,
+}
+
+impl BadDistanceBag {
+    pub fn add(&self, txn: &Txn, key: u64) -> TxResult<()> {
+        self.lock.lock(txn)?;
+        self.base.add(key);
+        let receipt = self.journal.append(txn, key)?;
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.remove(&key);
+        });
+        Ok(receipt)
+    }
+}

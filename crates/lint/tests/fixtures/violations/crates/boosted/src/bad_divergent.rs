@@ -1,0 +1,26 @@
+//! Violates branch-inverse-divergence: the undo for a mutation is
+//! logged only when an unrelated audit flag is set, so the non-audited
+//! path mutates the base object without a replayable inverse. (A branch
+//! conditioned on the mutation's *result* would be the legal idiom.)
+
+use std::sync::Arc;
+
+pub struct BadDivergentBag {
+    base: Arc<BaseBag>,
+    lock: TxMutex,
+    audit: bool,
+}
+
+impl BadDivergentBag {
+    pub fn add(&self, txn: &Txn, key: u64) -> TxResult<()> {
+        self.lock.lock(txn)?;
+        self.base.add(key);
+        if self.audit {
+            let base = Arc::clone(&self.base);
+            txn.log_undo(move || {
+                base.remove(&key);
+            });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,37 @@
+//! Violates potential-deadlock: two methods of the same object acquire
+//! the pair of abstract locks in opposite orders. Two transactions
+//! interleaving `forward` and `backward` block on each other until a
+//! lock timeout aborts one. Each method is individually disciplined —
+//! only the lock-order graph sees the conflict.
+
+use std::sync::Arc;
+
+pub struct BadOrderPair {
+    base: Arc<BaseMap>,
+    alpha: TxMutex,
+    beta: TxMutex,
+}
+
+impl BadOrderPair {
+    pub fn forward(&self, txn: &Txn, key: u64) -> TxResult<()> {
+        self.alpha.lock(txn)?;
+        self.beta.lock(txn)?;
+        self.base.insert(key, key);
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.remove(&key);
+        });
+        Ok(())
+    }
+
+    pub fn backward(&self, txn: &Txn, key: u64) -> TxResult<()> {
+        self.beta.lock(txn)?;
+        self.alpha.lock(txn)?;
+        self.base.remove(&key);
+        let base = Arc::clone(&self.base);
+        txn.log_undo(move || {
+            base.insert(key, key);
+        });
+        Ok(())
+    }
+}

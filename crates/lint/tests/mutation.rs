@@ -1,14 +1,27 @@
-//! Mutation tests: take a *clean* fixture, delete exactly the artifact
-//! the discipline requires (a SAFETY comment, an undo push, a yield
-//! hook), and assert the corresponding rule starts firing. This guards
-//! against rules that pass because they match nothing.
+//! Mutation tests, in two directions:
+//!
+//! 1. Mutate the *fixture*: delete exactly the artifact the discipline
+//!    requires (a SAFETY comment, an undo push, a yield hook) and
+//!    assert the corresponding rule starts firing. This guards against
+//!    rules that pass because they match nothing.
+//! 2. Mutate the *analyzer*: break the dataflow transfer/join function
+//!    through the [`TransferMutation`] hook and assert the self-tests
+//!    would catch the regression (clean code starts flagging, or a
+//!    planted bug stops being found).
 
 use std::path::Path;
-use txboost_lint::lint_source;
+use txboost_lint::{lint_source, lint_source_mutated, TransferMutation};
 
 fn clean_fixture(rel: &str) -> String {
     let p = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures/clean")
+        .join(rel);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn violation_fixture(rel: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/violations")
         .join(rel);
     std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
 }
@@ -144,5 +157,97 @@ fn deleting_the_suppression_reason_trips_the_policy_check() {
     assert!(
         fired.contains(&txboost_lint::SUPPRESSION_MISSING_REASON),
         "stripping the reason must trip the suppression policy, got {fired:?}"
+    );
+}
+
+// -------------------------------------------- analyzer-side mutations
+
+#[test]
+fn breaking_the_acquire_transfer_makes_clean_code_flag() {
+    // If acquisitions stop entering the lockset, every lock-covered
+    // base call in the clean fixture looks uncovered — the clean-tree
+    // self-test would fail loudly. This proves the Rule 2 dataflow is
+    // load-bearing, not vacuously green.
+    let rel = "crates/boosted/src/good_set.rs";
+    let src = clean_fixture(rel);
+    assert_eq!(lint_source(rel, &src).unsuppressed().count(), 0);
+
+    let report = lint_source_mutated(rel, &src, TransferMutation::IgnoreAcquires);
+    let fired: Vec<_> = report.unsuppressed().map(|d| d.rule).collect();
+    assert!(
+        fired.contains(&"lock-before-mutate"),
+        "with acquisitions ignored, lock-before-mutate must fire on clean code, got {fired:?}"
+    );
+}
+
+#[test]
+fn breaking_the_join_to_union_misses_the_planted_branch_bug() {
+    // The one-branch-locked fixture is found only because locksets join
+    // by must-intersection; weakening the join to union (a may-analysis)
+    // makes the planted bug vanish — which the golden-diagnostics test
+    // would catch as a missing line.
+    let rel = "crates/boosted/src/bad_branch_lock.rs";
+    let src = violation_fixture(rel);
+    assert!(lint_source(rel, &src)
+        .unsuppressed()
+        .any(|d| d.rule == "lock-before-mutate"));
+
+    let report = lint_source_mutated(rel, &src, TransferMutation::UnionAtJoins);
+    assert!(
+        !report
+            .unsuppressed()
+            .any(|d| d.rule == "lock-before-mutate"),
+        "union-at-joins must lose the one-branch-locked finding (proving the \
+         intersection join is what catches it)"
+    );
+}
+
+// ----------------------------------- differential: CFG vs line rules
+
+#[test]
+fn cfg_rule_catches_the_error_path_the_line_heuristic_missed() {
+    // Satellite regression for the old Rule 3 false-negative class: the
+    // undo is logged after the mutation (so the order-based line rule
+    // pairs them and stays quiet), but a fallible call in between can
+    // exit with the mutation unlogged.
+    let rel = "crates/boosted/src/bad_distance.rs";
+    let src = violation_fixture(rel);
+
+    let fa = txboost_lint::analysis::FileAnalysis::build(rel, &src);
+    let mut legacy_out = txboost_lint::engine::RuleOutput::default();
+    txboost_lint::rules::legacy::inverse_pairing(&fa, &mut legacy_out);
+    assert!(
+        legacy_out.diags.is_empty(),
+        "the PR-4 line rule was blind to this bug by construction, got {:?}",
+        legacy_out.diags
+    );
+
+    let report = lint_source(rel, &src);
+    assert!(
+        report.unsuppressed().any(|d| d.rule == "inverse-pairing"),
+        "the CFG rule must flag the mutation that can escape via `?`"
+    );
+}
+
+#[test]
+fn cfg_rule_catches_the_one_branch_lock_the_line_heuristic_missed() {
+    let rel = "crates/boosted/src/bad_branch_lock.rs";
+    let src = violation_fixture(rel);
+
+    let fa = txboost_lint::analysis::FileAnalysis::build(rel, &src);
+    let mut legacy_out = txboost_lint::engine::RuleOutput::default();
+    txboost_lint::rules::legacy::lock_before_mutate(&fa, &mut legacy_out);
+    assert!(
+        legacy_out.diags.is_empty(),
+        "the PR-4 line rule saw an acquisition earlier in the token stream, got {:?}",
+        legacy_out.diags
+    );
+
+    let report = lint_source(rel, &src);
+    assert!(
+        report
+            .unsuppressed()
+            .any(|d| d.rule == "lock-before-mutate"),
+        "the CFG rule must flag the lock-uncovered branch"
     );
 }

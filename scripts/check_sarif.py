@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Structural schema check for txboost-lint SARIF output.
+
+Used by the `lint-discipline` CI job: the analyzer's --sarif export is
+what code-review tooling ingests, so a malformed document (missing rule
+declarations, results pointing at undeclared rules, unsuppressed
+findings smuggled past the gate) must fail the build, not surface as a
+blank annotations pane later.
+
+Usage: check_sarif.py PATH [--deny-unsuppressed]
+"""
+
+import json
+import sys
+
+RESULT_KEYS = ("ruleId", "level", "message", "locations")
+
+
+def fail(msg):
+    print(f"{sys.argv[1]}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    path = sys.argv[1]
+    deny = "--deny-unsuppressed" in sys.argv[2:]
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("version") != "2.1.0":
+        fail(f'version is {doc.get("version")!r}, expected "2.1.0"')
+    if "sarif" not in str(doc.get("$schema", "")):
+        fail(f'$schema {doc.get("$schema")!r} does not look like SARIF')
+    runs = doc.get("runs")
+    if not runs or len(runs) != 1:
+        fail(f"expected exactly one run, got {len(runs or [])}")
+
+    driver = runs[0].get("tool", {}).get("driver", {})
+    if driver.get("name") != "txboost-lint":
+        fail(f'tool.driver.name is {driver.get("name")!r}')
+    declared = {r.get("id") for r in driver.get("rules", [])}
+    if not declared:
+        fail("no rules declared on tool.driver")
+
+    unsuppressed = 0
+    results = runs[0].get("results", [])
+    for i, res in enumerate(results):
+        for key in RESULT_KEYS:
+            if key not in res:
+                fail(f"result {i} missing {key}")
+        if res["ruleId"] not in declared:
+            fail(f'result {i}: ruleId {res["ruleId"]!r} not declared')
+        if not res["message"].get("text"):
+            fail(f"result {i} has an empty message")
+        for loc in res["locations"]:
+            phys = loc.get("physicalLocation", {})
+            uri = phys.get("artifactLocation", {}).get("uri")
+            line = phys.get("region", {}).get("startLine", 0)
+            if not uri or line < 1:
+                fail(f"result {i}: bad location {uri!r}:{line}")
+        sups = res.get("suppressions")
+        if sups:
+            for s in sups:
+                if s.get("kind") != "inSource":
+                    fail(f'result {i}: suppression kind {s.get("kind")!r}')
+                if not s.get("justification", "").strip():
+                    fail(f"result {i}: suppression without justification")
+        else:
+            unsuppressed += 1
+
+    if deny and unsuppressed:
+        fail(f"{unsuppressed} unsuppressed finding(s) in the SARIF log")
+
+    print(
+        f"{path}: {len(results)} result(s), "
+        f"{len(results) - unsuppressed} suppressed, "
+        f"{len(declared)} rule(s) declared OK"
+    )
+
+
+if __name__ == "__main__":
+    main()
