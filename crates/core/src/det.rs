@@ -78,6 +78,15 @@ pub enum Point {
     /// A version chain is about to garbage-collect versions below the
     /// oldest-live-reader floor.
     VersionGc,
+    /// A server event loop is about to block in `epoll_wait` for the
+    /// next readiness tick.
+    EpollWait,
+    /// The commit batcher sealed a run of same-tick single-object
+    /// scripts into one joint transaction.
+    BatchSeal,
+    /// A connection's buffered replies are about to be flushed to the
+    /// socket.
+    ConnFlush,
     /// A thread's body returned (recorded by the harness itself).
     Finish,
     /// A test-inserted yield (via [`yield_point`] from test code).

@@ -236,6 +236,20 @@ const YIELD_SITES: &[(&str, &str, &[&str])] = &[
     ("crates/core/src/mvcc.rs", "install", &["VersionInstall"]),
     ("crates/core/src/mvcc.rs", "read_at", &["SnapshotRead"]),
     ("crates/core/src/mvcc.rs", "gc", &["VersionGc"]),
+    // The event-driven I/O plane: the readiness tick, the commit
+    // batcher's seal, and the reply flush are the three points a det
+    // schedule needs to interleave server loops.
+    (
+        "crates/server/src/eventloop.rs",
+        "epoll_wait_det",
+        &["EpollWait"],
+    ),
+    (
+        "crates/server/src/eventloop.rs",
+        "flush_conn_det",
+        &["ConnFlush"],
+    ),
+    ("crates/server/src/batch.rs", "seal_det", &["BatchSeal"]),
 ];
 
 /// Functions subject to the boosted-method rules: real (non-test)
@@ -589,6 +603,9 @@ fn handler_panic_audit(fa: &FileAnalysis, out: &mut RuleOutput) {
             HandlerKind::RetryClosure => "transaction retry closure",
             HandlerKind::WalReplay => "WAL replay closure (the crash-recovery path)",
             HandlerKind::WalFlusher => "WAL flusher loop (the only thread acking durability)",
+            HandlerKind::EventLoop => {
+                "event-loop dispatch closure (a panic kills every connection on the loop)"
+            }
         };
         for i in h.range.0..=h.range.1 {
             if method_call(fa, i, &["unwrap", "expect"]) {

@@ -1,0 +1,9 @@
+//! Fixture: the commit batcher with its seal hook wired.
+
+pub struct GoodBatcher;
+
+impl GoodBatcher {
+    fn seal_det(&self) {
+        det::yield_point(det::Point::BatchSeal);
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: the event-loop det hooks in place and panic-free dispatch
+//! closures (fallible lookups, no indexing, no unwrap).
+
+pub struct GoodLoop;
+
+impl GoodLoop {
+    fn epoll_wait_det(&self) {
+        det::yield_point(det::Point::EpollWait);
+    }
+
+    fn flush_conn_det(&self) {
+        det::yield_point(det::Point::ConnFlush);
+    }
+
+    pub fn tick(&mut self, reqs: Vec<(usize, Request)>) {
+        self.epoll_wait_det();
+        self.batcher.run_tick(
+            &self.exec,
+            reqs,
+            |req| self.serve(req),
+            |idx, resp| {
+                if let Some(Some(conn)) = self.conns.get_mut(idx) {
+                    conn.push_reply(&resp);
+                }
+            },
+        );
+        self.flush_conn_det();
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: the commit batcher's seal yield site lost its hook, so a
+//! det schedule can no longer interleave another loop between seal and
+//! joint commit.
+
+pub struct BadBatcher;
+
+impl BadBatcher {
+    fn seal_det(&self) {
+        // nothing yields here
+    }
+}

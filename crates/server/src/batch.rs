@@ -1,0 +1,406 @@
+//! Same-tick commit batching.
+//!
+//! The paper's constant factor lives in abstract-lock traffic: every
+//! script pays a lock-manager entry, a WAL group-commit ticket, and an
+//! observability flush, even when consecutive scripts touch the *same*
+//! object with commuting operations. Readiness-driven I/O hands us a
+//! natural amortization unit — the poll tick: every script that
+//! arrived in one `epoll_wait` round is known before any of them
+//! executes. The batcher coalesces eligible runs of those scripts into
+//! one joint boosted transaction ([`crate::Executor::execute_batch`]):
+//! one pass over the lock manager (the transaction's lock-handle cache
+//! absorbs repeat acquisitions), one WAL record and durability ticket,
+//! one histogram timestamp.
+//!
+//! ## Why batching cannot merge conflicting scripts
+//!
+//! A joint transaction commits or aborts as a unit, so a script may
+//! only join a batch if it **cannot abort on its own**:
+//!
+//! * **no guards** — a guard mismatch aborts the whole transaction,
+//!   which would wrongly abort the innocent scripts merged with it;
+//! * **no `DebugAbort`** — same reason, deliberately;
+//! * **no `SemAcquire`** — an exhausted semaphore aborts with
+//!   `WouldBlock`;
+//! * **single-object** — every op targets one `(type, name)` instance,
+//!   so merged scripts are pairwise independent: any serial order of
+//!   them produces the same per-script results, and the joint
+//!   transaction realizes arrival order.
+//!
+//! Everything else (guarded transfers, multi-object scripts, reads
+//! with expectations) takes the classic one-script-one-transaction
+//! path unchanged.
+//!
+//! ## Ordering
+//!
+//! Batches are **maximal runs in arrival order**: walking the tick's
+//! requests, eligible scripts accumulate; the pending batch is sealed
+//! and executed *before* any non-batchable request runs. A
+//! connection's pipelined requests therefore execute — and reply — in
+//! program order, batched or not.
+
+use crate::exec::{Executor, ScriptOutcome};
+#[cfg(feature = "deterministic")]
+use txboost_core::det;
+use txboost_wire::{Guard, Op, Request, Response, ScriptOp, MAX_OPS_PER_SCRIPT};
+
+/// Commit-batching knobs.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Master switch (`--no-batch` clears it). Off, every script runs
+    /// as its own transaction even on the event-loop plane.
+    pub enabled: bool,
+    /// Most scripts merged into one joint transaction.
+    pub max_scripts: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            enabled: true,
+            max_scripts: 64,
+        }
+    }
+}
+
+/// Which object instance an op addresses: `(type tag, name)`. `None`
+/// for `DebugAbort`, which addresses no object.
+fn op_target(op: &Op) -> Option<(u8, &str)> {
+    match op {
+        Op::MapInsert { obj, .. } | Op::MapRemove { obj, .. } | Op::MapContains { obj, .. } => {
+            Some((0, obj))
+        }
+        Op::CounterAdd { obj, .. } | Op::CounterGet { obj } => Some((1, obj)),
+        Op::SemAcquire { obj } | Op::SemRelease { obj } => Some((2, obj)),
+        Op::IdGen { obj } => Some((3, obj)),
+        Op::PqAdd { obj, .. } | Op::PqRemoveMin { obj } => Some((4, obj)),
+        Op::DebugAbort => None,
+    }
+}
+
+/// Whether a script may join a joint transaction: non-empty,
+/// single-object, guard-free, and free of ops that can abort on their
+/// own (see the module docs for why each condition is load-bearing).
+#[must_use]
+pub fn batch_eligible(ops: &[ScriptOp]) -> bool {
+    let Some(first) = ops.first() else {
+        return false;
+    };
+    let Some(target) = op_target(&first.op) else {
+        return false;
+    };
+    ops.len() <= MAX_OPS_PER_SCRIPT as usize
+        && ops.iter().all(|sop| {
+            matches!(sop.guard, Guard::None)
+                && !matches!(sop.op, Op::SemAcquire { .. })
+                && op_target(&sop.op) == Some(target)
+        })
+}
+
+/// Shape a [`ScriptOutcome`] into its wire reply.
+pub(crate) fn script_response(req_id: u64, out: ScriptOutcome) -> Response {
+    Response::Script {
+        req_id,
+        status: out.status,
+        attempts: out.attempts,
+        failed_op: out.failed_op,
+        results: out.results,
+    }
+}
+
+/// One tick's worth of request coalescing. Stateless between ticks by
+/// construction: [`Batcher::run_tick`] consumes the whole tick queue
+/// and seals any pending batch before returning, so a graceful drain
+/// never strands a sealed-but-unexecuted batch.
+#[derive(Debug)]
+pub struct Batcher {
+    cfg: BatchConfig,
+}
+
+impl Batcher {
+    /// A batcher with the given knobs.
+    #[must_use]
+    pub fn new(cfg: BatchConfig) -> Batcher {
+        Batcher { cfg }
+    }
+
+    /// Execute one poll tick's requests in arrival order.
+    ///
+    /// Eligible `Script` requests are coalesced (up to
+    /// [`BatchConfig::max_scripts`] scripts / [`MAX_OPS_PER_SCRIPT`]
+    /// total ops) and executed jointly; every other request is handed
+    /// to `other`, which computes its reply. All replies flow through
+    /// `emit(token, response)` in arrival order — per-connection FIFO
+    /// is the caller's invariant to keep, and it follows directly from
+    /// emission order here.
+    pub fn run_tick<T: Copy>(
+        &self,
+        exec: &Executor,
+        requests: Vec<(T, Request)>,
+        mut other: impl FnMut(Request) -> Response,
+        mut emit: impl FnMut(T, Response),
+    ) {
+        let mut batch: Vec<(T, u64, Vec<ScriptOp>)> = Vec::new();
+        let mut batch_ops = 0usize;
+        for (token, req) in requests {
+            match req {
+                Request::Script { req_id, ops } if self.cfg.enabled && batch_eligible(&ops) => {
+                    if batch.len() >= self.cfg.max_scripts
+                        || batch_ops + ops.len() > MAX_OPS_PER_SCRIPT as usize
+                    {
+                        seal(exec, &mut batch, &mut batch_ops, &mut emit);
+                    }
+                    batch_ops += ops.len();
+                    batch.push((token, req_id, ops));
+                }
+                req => {
+                    // Program order: a connection's earlier batched
+                    // scripts must commit before a later non-batchable
+                    // request of the same connection executes.
+                    seal(exec, &mut batch, &mut batch_ops, &mut emit);
+                    let resp = other(req);
+                    emit(token, resp);
+                }
+            }
+        }
+        seal(exec, &mut batch, &mut batch_ops, &mut emit);
+    }
+}
+
+/// Execute and drain the pending batch (no-op when empty).
+fn seal<T: Copy>(
+    exec: &Executor,
+    batch: &mut Vec<(T, u64, Vec<ScriptOp>)>,
+    batch_ops: &mut usize,
+    emit: &mut impl FnMut(T, Response),
+) {
+    *batch_ops = 0;
+    if batch.is_empty() {
+        return;
+    }
+    seal_det();
+    if batch.len() == 1 {
+        // A run of one amortizes nothing; skip the joint machinery.
+        if let Some((token, req_id, ops)) = batch.pop() {
+            let out = exec.execute(&ops);
+            emit(token, script_response(req_id, out));
+        }
+        return;
+    }
+    let scripts: Vec<Vec<ScriptOp>> = batch.iter().map(|(_, _, ops)| ops.clone()).collect();
+    match exec.execute_batch(&scripts) {
+        Some(outcomes) => {
+            for ((token, req_id, _), out) in batch.drain(..).zip(outcomes) {
+                emit(token, script_response(req_id, out));
+            }
+        }
+        None => {
+            // The joint transaction lost a conflict race (e.g. a
+            // cross-loop lock-order collision). Fall back to the
+            // classic path: each script retries on its own, so no
+            // client observes the merge.
+            for (token, req_id, ops) in batch.drain(..) {
+                let out = exec.execute(&ops);
+                emit(token, script_response(req_id, out));
+            }
+        }
+    }
+}
+
+/// Deterministic-harness hook: the batcher sealed a run of
+/// same-tick scripts into one joint transaction. Fires before the
+/// joint execution, so schedule exploration can interleave other
+/// loops between seal and commit.
+fn seal_det() {
+    #[cfg(feature = "deterministic")]
+    det::yield_point(det::Point::BatchSeal);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use txboost_core::TxnConfig;
+    use txboost_wire::{OpResult, ScriptStatus};
+
+    fn exec() -> Executor {
+        Executor::new(
+            TxnConfig {
+                lock_timeout: Duration::from_millis(5),
+                max_retries: Some(16),
+                ..TxnConfig::default()
+            },
+            4,
+        )
+    }
+
+    fn add(obj: &str, delta: i64) -> Vec<ScriptOp> {
+        vec![ScriptOp::new(Op::CounterAdd {
+            obj: obj.into(),
+            delta,
+        })]
+    }
+
+    #[test]
+    fn eligibility_rules() {
+        assert!(batch_eligible(&add("c", 1)));
+        assert!(batch_eligible(&[
+            ScriptOp::new(Op::CounterAdd {
+                obj: "c".into(),
+                delta: 1,
+            }),
+            ScriptOp::new(Op::CounterGet { obj: "c".into() }),
+        ]));
+        // Empty, guarded, aborting, multi-object, cross-type: all out.
+        assert!(!batch_eligible(&[]));
+        assert!(!batch_eligible(&[ScriptOp::guarded(
+            Op::MapContains {
+                obj: "m".into(),
+                key: 1,
+            },
+            Guard::ExpectTrue,
+        )]));
+        assert!(!batch_eligible(&[ScriptOp::new(Op::DebugAbort)]));
+        assert!(!batch_eligible(&[ScriptOp::new(Op::SemAcquire {
+            obj: "s".into()
+        })]));
+        assert!(!batch_eligible(&[
+            ScriptOp::new(Op::CounterAdd {
+                obj: "a".into(),
+                delta: 1,
+            }),
+            ScriptOp::new(Op::CounterAdd {
+                obj: "b".into(),
+                delta: 1,
+            }),
+        ]));
+        assert!(!batch_eligible(&[
+            ScriptOp::new(Op::CounterAdd {
+                obj: "x".into(),
+                delta: 1,
+            }),
+            ScriptOp::new(Op::MapInsert {
+                obj: "x".into(),
+                key: 1,
+                val: 1,
+            }),
+        ]));
+    }
+
+    #[test]
+    fn run_tick_batches_and_preserves_arrival_order() {
+        let e = exec();
+        let b = Batcher::new(BatchConfig::default());
+        let reqs: Vec<(usize, Request)> = vec![
+            (
+                0,
+                Request::Script {
+                    req_id: 10,
+                    ops: add("c", 1),
+                },
+            ),
+            (
+                1,
+                Request::Script {
+                    req_id: 11,
+                    ops: add("c", 2),
+                },
+            ),
+            (0, Request::Ping { req_id: 12 }),
+            (
+                1,
+                Request::Script {
+                    req_id: 13,
+                    ops: add("c", 4),
+                },
+            ),
+        ];
+        let mut replies: Vec<(usize, u64)> = Vec::new();
+        b.run_tick(
+            &e,
+            reqs,
+            |req| match req {
+                Request::Ping { req_id } => Response::Pong { req_id },
+                _ => Response::Pong { req_id: 0 },
+            },
+            |token, resp| {
+                let id = match resp {
+                    Response::Script { req_id, status, .. } => {
+                        assert_eq!(status, ScriptStatus::Committed);
+                        req_id
+                    }
+                    Response::Pong { req_id } => req_id,
+                    _ => 0,
+                };
+                replies.push((token, id));
+            },
+        );
+        assert_eq!(replies, vec![(0, 10), (1, 11), (0, 12), (1, 13)]);
+        let probe = e.execute(&[ScriptOp::new(Op::CounterGet { obj: "c".into() })]);
+        assert_eq!(probe.results, vec![OpResult::Value(Some(7))]);
+        // The first two scripts merged; the post-ping one ran alone.
+        assert!(e
+            .stats_json()
+            .contains("\"batch\":{\"batches\":1,\"scripts\":2"));
+    }
+
+    #[test]
+    fn run_tick_with_batching_disabled_never_merges() {
+        let e = exec();
+        let b = Batcher::new(BatchConfig {
+            enabled: false,
+            ..BatchConfig::default()
+        });
+        let reqs: Vec<(usize, Request)> = (0..4)
+            .map(|i| {
+                (
+                    i,
+                    Request::Script {
+                        req_id: i as u64,
+                        ops: add("c", 1),
+                    },
+                )
+            })
+            .collect();
+        let mut n = 0;
+        b.run_tick(&e, reqs, |_| Response::Pong { req_id: 0 }, |_, _| n += 1);
+        assert_eq!(n, 4);
+        assert!(e
+            .stats_json()
+            .contains("\"batch\":{\"batches\":0,\"scripts\":0"));
+    }
+
+    #[test]
+    fn ops_cap_splits_oversized_runs() {
+        let e = exec();
+        let b = Batcher::new(BatchConfig::default());
+        // Scripts of 400 ops each: three of them exceed the 1024-op
+        // record cap, so the run must split 2 + 1.
+        let big = |_: usize| -> Vec<ScriptOp> {
+            (0..400)
+                .map(|_| {
+                    ScriptOp::new(Op::CounterAdd {
+                        obj: "c".into(),
+                        delta: 1,
+                    })
+                })
+                .collect()
+        };
+        let reqs: Vec<(usize, Request)> = (0..3)
+            .map(|i| {
+                (
+                    i,
+                    Request::Script {
+                        req_id: i as u64,
+                        ops: big(i),
+                    },
+                )
+            })
+            .collect();
+        let mut n = 0;
+        b.run_tick(&e, reqs, |_| Response::Pong { req_id: 0 }, |_, _| n += 1);
+        assert_eq!(n, 3);
+        let probe = e.execute(&[ScriptOp::new(Op::CounterGet { obj: "c".into() })]);
+        assert_eq!(probe.results, vec![OpResult::Value(Some(1200))]);
+    }
+}

@@ -49,6 +49,10 @@ pub struct ConnMetrics {
     pub open: AtomicU64,
     /// Protocol errors (each closed one connection).
     pub proto_errors: AtomicU64,
+    /// Accepts that failed on descriptor exhaustion (`EMFILE`/
+    /// `ENFILE`) or a reader-spawn failure; each shed one connection
+    /// attempt and backed the acceptor off instead of spinning.
+    pub accept_errors: AtomicU64,
 }
 
 /// Executes scripts and accumulates the stats the `STATS` request
@@ -75,6 +79,14 @@ pub struct Executor {
     /// Replayed records the executor rejected (a recovery bug or a
     /// log/state divergence; counted, surfaced in stats, never fatal).
     wal_replay_failures: AtomicU64,
+    /// Joint transactions committed by [`Executor::execute_batch`].
+    batches: AtomicU64,
+    /// Scripts that committed inside those joint transactions.
+    batch_scripts: AtomicU64,
+    /// Joint transactions that failed and fell back to per-script
+    /// execution (cross-loop conflict races; each is `batch.len()`
+    /// scripts re-run individually).
+    batch_fallbacks: AtomicU64,
 }
 
 impl Executor {
@@ -92,6 +104,9 @@ impl Executor {
             wal: OnceLock::new(),
             wal_replayed: AtomicU64::new(0),
             wal_replay_failures: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_scripts: AtomicU64::new(0),
+            batch_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -214,6 +229,95 @@ impl Executor {
             results,
             wal_durable,
         }
+    }
+
+    /// Run several independent single-object scripts as **one** joint
+    /// boosted transaction — the commit-batching fast path (see
+    /// [`crate::batch`]). One lock-manager pass (the transaction's
+    /// lock-handle cache absorbs repeat acquisitions of the same
+    /// abstract lock), one WAL record and group-commit ticket for the
+    /// concatenated ops, one histogram timestamp for the whole batch.
+    ///
+    /// The caller guarantees every script is batch-eligible
+    /// ([`crate::batch_eligible`]): guard-free and free of ops that
+    /// can abort on their own, so the joint body has no explicit-abort
+    /// path. Returns `None` when the joint transaction still failed
+    /// (conflict races with other event loops exhausting retries) —
+    /// the caller then re-runs each script individually, so clients
+    /// never observe the merge.
+    pub fn execute_batch(&self, scripts: &[Vec<ScriptOp>]) -> Option<Vec<ScriptOutcome>> {
+        let t0 = Instant::now();
+        let n = scripts.len();
+        let total_ops: usize = scripts.iter().map(Vec::len).sum();
+        let mut attempts: u32 = 0;
+        let mut results: Vec<Vec<OpResult>> = Vec::with_capacity(n);
+        // `run_op`'s failure slot: never set here, because eligible
+        // scripts contain no `DebugAbort`.
+        let failed: Cell<Option<(u16, bool)>> = Cell::new(None);
+        let wal_ticket: Cell<Option<Ticket>> = Cell::new(None);
+        let logs_wal =
+            self.wal.get().is_some() && scripts.iter().flatten().any(|sop| op_mutates(&sop.op));
+        // One record for the whole batch: recovery replays the
+        // concatenation as one transaction, which rebuilds the same
+        // state the joint commit produced. Built once — the scripts do
+        // not change across retries.
+        let joined: Vec<ScriptOp> = if logs_wal {
+            scripts.iter().flatten().cloned().collect()
+        } else {
+            Vec::new()
+        };
+        let run = self.tm.run(|txn| {
+            attempts = attempts.saturating_add(1);
+            results.clear();
+            for ops in scripts {
+                let mut rs = Vec::with_capacity(ops.len());
+                for (i, sop) in ops.iter().enumerate() {
+                    rs.push(self.run_op(txn, &sop.op, i as u16, &failed)?);
+                }
+                results.push(rs);
+            }
+            if logs_wal {
+                if let Some(wal) = self.wal.get() {
+                    wal_ticket.set(Some(wal.enqueue(&joined)));
+                }
+            }
+            Ok(())
+        });
+        if run.is_err() {
+            self.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let wal_durable = wal_ticket.take().map(|ticket| ticket.wait());
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_scripts.fetch_add(n as u64, Ordering::Relaxed);
+        self.status_counts[status_index(ScriptStatus::Committed)]
+            .fetch_add(n as u64, Ordering::Relaxed);
+        // One timestamp for the whole batch; per-op and per-script
+        // samples get the amortized share, so counts stay exact while
+        // the clock is read twice per batch instead of twice per op.
+        let elapsed = t0.elapsed();
+        let per_op = elapsed / (total_ops.max(1) as u32);
+        let per_script = elapsed / (n.max(1) as u32);
+        for ops in scripts {
+            for sop in ops {
+                if let Some(hist) = self.op_hist.get((sop.op.opcode() - 1) as usize) {
+                    hist.record_duration(per_op);
+                }
+            }
+            self.script_hist.record_duration(per_script);
+        }
+        Some(
+            results
+                .into_iter()
+                .map(|rs| ScriptOutcome {
+                    status: ScriptStatus::Committed,
+                    attempts,
+                    failed_op: None,
+                    results: rs,
+                    wal_durable,
+                })
+                .collect(),
+        )
     }
 
     /// Run `ops` as one **read-only snapshot transaction**: no abstract
@@ -380,6 +484,22 @@ impl Executor {
         out.push_str(",\"script_service\":");
         push_hist(&mut out, &self.script_hist.snapshot());
 
+        out.push_str(",\"batch\":{");
+        push_kv_u64(&mut out, "batches", self.batches.load(Ordering::Relaxed));
+        out.push(',');
+        push_kv_u64(
+            &mut out,
+            "scripts",
+            self.batch_scripts.load(Ordering::Relaxed),
+        );
+        out.push(',');
+        push_kv_u64(
+            &mut out,
+            "fallbacks",
+            self.batch_fallbacks.load(Ordering::Relaxed),
+        );
+        out.push('}');
+
         out.push_str(",\"abort_attribution\":{");
         let snap = self.ns.registry().snapshot();
         for (i, (object, timeouts)) in snap.timeouts_by_object().iter().enumerate() {
@@ -406,6 +526,12 @@ impl Executor {
             &mut out,
             "proto_errors",
             self.conns.proto_errors.load(Ordering::Relaxed),
+        );
+        out.push(',');
+        push_kv_u64(
+            &mut out,
+            "accept_errors",
+            self.conns.accept_errors.load(Ordering::Relaxed),
         );
         out.push('}');
 
@@ -869,6 +995,79 @@ mod tests {
             key: 1,
         })]);
         assert_eq!(probe.results, vec![OpResult::Bool(true)]);
+    }
+
+    #[test]
+    fn execute_batch_commits_jointly_with_per_script_results() {
+        let e = exec();
+        let scripts: Vec<Vec<ScriptOp>> = vec![
+            vec![op(Op::CounterAdd {
+                obj: "c".into(),
+                delta: 3,
+            })],
+            vec![
+                op(Op::CounterAdd {
+                    obj: "c".into(),
+                    delta: 4,
+                }),
+                op(Op::CounterGet { obj: "c".into() }),
+            ],
+        ];
+        let outs = e.execute_batch(&scripts).expect("joint commit");
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].status, ScriptStatus::Committed);
+        assert_eq!(outs[0].results, vec![OpResult::Unit]);
+        // Scripts execute in arrival order inside the joint txn, so
+        // the second script's read sees the first's delta.
+        assert_eq!(
+            outs[1].results,
+            vec![OpResult::Unit, OpResult::Value(Some(7))]
+        );
+        let json = e.stats_json();
+        assert!(
+            json.contains("\"batch\":{\"batches\":1,\"scripts\":2,\"fallbacks\":0"),
+            "{json}"
+        );
+        // Per-script accounting stays exact: 2 committed scripts, 3
+        // op samples, 2 script-service samples.
+        assert!(json.contains("\"committed\":2"), "{json}");
+        assert!(json.contains("\"counter_add\":{\"count\":2"), "{json}");
+        assert!(json.contains("\"script_service\":{\"count\":2"), "{json}");
+    }
+
+    #[test]
+    fn execute_batch_logs_one_wal_record_for_the_run() {
+        use txboost_wal::{recover, SimStorage, Storage, WalConfig};
+        let storage = Arc::new(SimStorage::new(0));
+        let e = exec();
+        let wal = Arc::new(
+            GroupCommitWal::new(
+                Arc::clone(&storage) as Arc<dyn Storage>,
+                &WalConfig::default(),
+                1,
+                Arc::new(txboost_core::DurabilityMetrics::new()),
+            )
+            .unwrap(),
+        );
+        wal.spawn_flusher().unwrap();
+        e.attach_wal(wal);
+        let scripts: Vec<Vec<ScriptOp>> = (0..4)
+            .map(|_| {
+                vec![op(Op::CounterAdd {
+                    obj: "c".into(),
+                    delta: 1,
+                })]
+            })
+            .collect();
+        let outs = e.execute_batch(&scripts).expect("joint commit");
+        assert!(outs.iter().all(|o| o.wal_durable == Some(true)));
+        e.shutdown_wal();
+        let log = recover(storage.as_ref()).unwrap();
+        assert_eq!(log.records.len(), 1, "one record for the whole batch");
+        let e2 = exec();
+        assert_eq!(log.replay(|record| e2.replay_record(record)), 0);
+        let probe = e2.execute(&[op(Op::CounterGet { obj: "c".into() })]);
+        assert_eq!(probe.results, vec![OpResult::Value(Some(4))]);
     }
 
     #[test]

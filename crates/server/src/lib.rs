@@ -6,52 +6,85 @@
 //! deadlock recovery with capped exponential backoff between retries),
 //! replying with per-op results or an abort code.
 //!
-//! ## Executor model
+//! ## I/O planes
 //!
-//! No async runtime: everything is `std::net` + threads.
+//! No async runtime: everything is `std::net` + threads + (on Linux)
+//! raw `epoll`. Two interchangeable planes implement the same wire
+//! semantics — pipelining, a bounded per-connection in-flight window,
+//! protocol-error isolation, graceful drain:
 //!
-//! * **Sharded acceptors** — `acceptors` threads share one listening
-//!   socket (each owns a `try_clone` of it) and race on `accept`.
-//! * **One reader per connection** — decodes frames and forwards
-//!   decoded requests to a worker. Malformed or oversized frames get a
-//!   protocol-error reply and cost exactly that connection, never the
-//!   process.
-//! * **Thread-per-core workers** — `workers` executor threads (default:
-//!   one per core), each owning an MPSC queue. A connection is pinned
-//!   to `conn_id % workers`, so one connection's pipelined requests
-//!   execute in order (replies come back in request order) while
-//!   different connections run in parallel on different cores.
-//! * **Bounded in-flight window** — each connection holds a
-//!   [`ServerConfig::window`]-slot semaphore; the reader takes a slot
-//!   per decoded request and the worker returns it after writing the
-//!   reply. When a client pipelines faster than its scripts execute,
-//!   the reader stops reading and TCP backpressure reaches the client.
-//! * **Graceful drain** — a wire `Shutdown` frame or SIGTERM stops the
-//!   acceptors and readers; queued scripts still execute and get
-//!   replies before sockets close. [`Server::join`] returns once the
-//!   drain is complete.
+//! * [`IoModel::Epoll`] (default on Linux) — readiness-driven
+//!   nonblocking multiplexing: one event loop per core, connections
+//!   pinned to the loop that accepted them, edge-triggered reads into
+//!   per-connection resumable frame decoders, batched reply flushes
+//!   with EAGAIN-aware write interest. Independent single-object
+//!   scripts arriving in the same poll tick are coalesced into one
+//!   joint transaction (see [`batch`]): one lock-manager pass, one WAL
+//!   group-commit ticket, one histogram timestamp.
+//! * [`IoModel::Threads`] — sharded acceptors, one blocking reader
+//!   thread per connection, `conn_id % workers` executor pinning. The
+//!   classic plane, kept for comparison benchmarks and non-Linux
+//!   hosts.
+//!
+//! ## Shared semantics
+//!
+//! * **Bounded in-flight window** — each connection holds
+//!   [`ServerConfig::window`] slots; when a client pipelines faster
+//!   than its scripts execute (or stops reading replies), the server
+//!   stops reading that connection and TCP backpressure reaches the
+//!   client. Other connections are unaffected.
+//! * **Graceful drain** — a wire `Shutdown` frame or SIGTERM stops
+//!   accepting and reading; decoded scripts (including a pending
+//!   batch) still execute and get replies before sockets close.
+//!   [`Server::join`] returns once the drain is complete.
 
 #![warn(missing_docs)]
 
+pub mod batch;
+#[cfg(target_os = "linux")]
+mod eventloop;
 mod exec;
 mod namespace;
 #[cfg(unix)]
 pub mod signal;
+#[cfg(target_os = "linux")]
+pub mod sys;
+mod threads;
 
+pub use batch::{batch_eligible, BatchConfig, Batcher};
 pub use exec::{Executor, ScriptOutcome};
 pub use namespace::Namespace;
 
 use parking_lot::{Condvar, Mutex};
-use std::io::{self, BufWriter, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use txboost_core::TxnConfig;
 use txboost_wire as wire;
-use txboost_wire::{ProtoErrorCode, Request, Response, WireError};
+use txboost_wire::{ProtoErrorCode, WireError};
+
+/// Which I/O plane drives connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// One blocking reader thread per connection (works everywhere).
+    Threads,
+    /// Readiness-driven nonblocking `epoll` event loops (Linux only;
+    /// falls back to [`IoModel::Threads`] elsewhere).
+    Epoll,
+}
+
+impl Default for IoModel {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            IoModel::Epoll
+        } else {
+            IoModel::Threads
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -59,9 +92,16 @@ pub struct ServerConfig {
     /// Listen address, e.g. `"127.0.0.1:7411"`. Use port 0 to let the
     /// OS pick (tests).
     pub addr: String,
-    /// Acceptor shards racing on the listening socket.
+    /// Which I/O plane to run (see [`IoModel`]).
+    pub io: IoModel,
+    /// Event loops for the epoll plane (0 = one per core).
+    pub event_loops: usize,
+    /// Commit batching for the epoll plane (ignored by the thread
+    /// plane, which learns about one request at a time).
+    pub batch: BatchConfig,
+    /// Acceptor shards racing on the listening socket (thread plane).
     pub acceptors: usize,
-    /// Executor threads (default: one per core).
+    /// Executor threads for the thread plane (default: one per core).
     pub workers: usize,
     /// Per-connection in-flight request window (backpressure bound).
     pub window: usize,
@@ -74,7 +114,8 @@ pub struct ServerConfig {
     /// be `Some(_)` in a server — an unbounded retry loop would let one
     /// pathological script occupy a worker forever.
     pub txn: TxnConfig,
-    /// How often blocked reads/accepts wake up to check for shutdown.
+    /// How often blocked reads/accepts/poll ticks wake up to check for
+    /// shutdown.
     pub poll_interval: Duration,
     /// How long a drain waits for a half-received frame before giving
     /// up on that connection.
@@ -114,6 +155,9 @@ impl Default for ServerConfig {
             .unwrap_or(4);
         ServerConfig {
             addr: "127.0.0.1:7411".to_string(),
+            io: IoModel::default(),
+            event_loops: cores,
+            batch: BatchConfig::default(),
             acceptors: cores.min(4),
             workers: cores,
             window: 32,
@@ -132,22 +176,24 @@ impl Default for ServerConfig {
     }
 }
 
-/// Per-connection in-flight window: a tiny counting semaphore.
+/// Per-connection in-flight window: a tiny counting semaphore (used by
+/// the thread plane; the event loop tracks the window with a plain
+/// counter since it never blocks).
 #[derive(Debug)]
-struct WindowSem {
+pub(crate) struct WindowSem {
     permits: Mutex<usize>,
     cv: Condvar,
 }
 
 impl WindowSem {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         WindowSem {
             permits: Mutex::new(n.max(1)),
             cv: Condvar::new(),
         }
     }
 
-    fn acquire(&self) {
+    pub(crate) fn acquire(&self) {
         let mut p = self.permits.lock();
         while *p == 0 {
             self.cv.wait(&mut p);
@@ -155,38 +201,37 @@ impl WindowSem {
         *p -= 1;
     }
 
-    fn release(&self) {
+    pub(crate) fn release(&self) {
         *self.permits.lock() += 1;
         self.cv.notify_one();
     }
 }
 
-/// Shared per-connection state: the write half (workers and the reader
-/// both send frames) and the backpressure window.
-#[derive(Debug)]
-struct Conn {
-    writer: Mutex<BufWriter<TcpStream>>,
-    window: WindowSem,
+/// State shared by every plane: the executor, the shutdown latch, and
+/// the configuration.
+pub(crate) struct Shared {
+    pub(crate) exec: Executor,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) cfg: ServerConfig,
 }
 
-impl Conn {
-    /// Send one response frame; `false` means the connection is gone
-    /// (the peer will simply never see the reply).
-    fn send(&self, resp: &Response) -> bool {
-        let mut w = self.writer.lock();
-        wire::send_response(&mut *w, resp).is_ok() && w.flush().is_ok()
+/// Map a wire decode failure to its protocol-error reply code.
+pub(crate) fn proto_error_code(err: &WireError) -> ProtoErrorCode {
+    match err {
+        WireError::FrameTooLarge { .. } => ProtoErrorCode::FrameTooLarge,
+        WireError::UnknownKind(_) => ProtoErrorCode::UnknownKind,
+        WireError::TooManyOps(_) => ProtoErrorCode::TooManyOps,
+        _ => ProtoErrorCode::Malformed,
     }
 }
 
-enum Job {
-    Request { conn: Arc<Conn>, req: Request },
-    Stop,
-}
-
-struct Shared {
-    exec: Executor,
-    shutdown: AtomicBool,
-    cfg: ServerConfig,
+enum Plane {
+    Threads(threads::ThreadPlane),
+    #[cfg(target_os = "linux")]
+    Epoll {
+        loops: Vec<JoinHandle<()>>,
+        wakeups: Vec<Arc<sys::EventFd>>,
+    },
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -194,10 +239,7 @@ struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    acceptors: Vec<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-    worker_txs: Vec<Sender<Job>>,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    plane: Plane,
 }
 
 impl Server {
@@ -234,44 +276,21 @@ impl Server {
             shared.exec.attach_wal(wal);
         }
 
-        let mut worker_txs = Vec::with_capacity(cfg.workers.max(1));
-        let mut workers = Vec::with_capacity(cfg.workers.max(1));
-        for i in 0..cfg.workers.max(1) {
-            let (tx, rx) = std::sync::mpsc::channel::<Job>();
-            let shared2 = Arc::clone(&shared);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("txboost-worker-{i}"))
-                    .spawn(move || worker_loop(shared2, rx))
-                    .expect("spawn worker"),
-            );
-            worker_txs.push(tx);
-        }
-
-        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let next_conn_id = Arc::new(AtomicU64::new(0));
-        let mut acceptors = Vec::with_capacity(cfg.acceptors.max(1));
-        for i in 0..cfg.acceptors.max(1) {
-            let listener = listener.try_clone()?;
-            let shared2 = Arc::clone(&shared);
-            let txs = worker_txs.clone();
-            let readers2 = Arc::clone(&readers);
-            let ids = Arc::clone(&next_conn_id);
-            acceptors.push(
-                std::thread::Builder::new()
-                    .name(format!("txboost-accept-{i}"))
-                    .spawn(move || acceptor_loop(shared2, listener, txs, readers2, ids))
-                    .expect("spawn acceptor"),
-            );
-        }
+        let plane = match cfg.io {
+            #[cfg(target_os = "linux")]
+            IoModel::Epoll => {
+                let (loops, wakeups) = eventloop::spawn_loops(&shared, &listener)?;
+                Plane::Epoll { loops, wakeups }
+            }
+            #[cfg(not(target_os = "linux"))]
+            IoModel::Epoll => Plane::Threads(threads::ThreadPlane::spawn(&shared, &listener)?),
+            IoModel::Threads => Plane::Threads(threads::ThreadPlane::spawn(&shared, &listener)?),
+        };
 
         Ok(Server {
             shared,
             addr,
-            acceptors,
-            workers,
-            worker_txs,
-            readers,
+            plane,
         })
     }
 
@@ -286,11 +305,17 @@ impl Server {
         &self.shared.exec
     }
 
-    /// Request a graceful drain: acceptors and readers stop, queued
+    /// Request a graceful drain: accepting and reading stop, decoded
     /// scripts finish and get replies. Idempotent; returns immediately
     /// (pair with [`Server::join`]).
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        if let Plane::Epoll { wakeups, .. } = &self.plane {
+            for w in wakeups {
+                w.fire();
+            }
+        }
     }
 
     /// Whether a drain has been requested (wire `Shutdown`, SIGTERM
@@ -303,31 +328,16 @@ impl Server {
     /// yet. In-flight requests get their replies before this returns.
     pub fn join(self) {
         self.shutdown();
-        for h in self.acceptors {
-            let _ = h.join();
-        }
-        // Acceptors are done, so no new readers appear; drain whatever
-        // exists (readers exit on their next poll tick).
-        loop {
-            let handles: Vec<_> = std::mem::take(&mut *self.readers.lock());
-            if handles.is_empty() {
-                break;
-            }
-            for h in handles {
-                let _ = h.join();
+        match self.plane {
+            Plane::Threads(plane) => plane.join(),
+            #[cfg(target_os = "linux")]
+            Plane::Epoll { loops, .. } => {
+                for h in loops {
+                    let _ = h.join();
+                }
             }
         }
-        // Readers are gone: workers' queues can only shrink. A Stop
-        // job behind the remaining work makes each worker drain then
-        // exit.
-        for tx in &self.worker_txs {
-            let _ = tx.send(Job::Stop);
-        }
-        drop(self.worker_txs);
-        for h in self.workers {
-            let _ = h.join();
-        }
-        // Workers are gone, so nothing enqueues anymore; flush what
+        // The plane is gone, so nothing enqueues anymore; flush what
         // remains and join the flusher. (Every acknowledged request was
         // already durable before its reply was written.)
         self.shared.exec.shutdown_wal();
@@ -355,235 +365,6 @@ impl Server {
     }
 }
 
-fn acceptor_loop(
-    shared: Arc<Shared>,
-    listener: TcpListener,
-    worker_txs: Vec<Sender<Job>>,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    next_conn_id: Arc<AtomicU64>,
-) {
-    let poll = shared.cfg.poll_interval;
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
-                    continue;
-                }
-                let conns = &shared.exec.conns;
-                conns.accepted.fetch_add(1, Ordering::Relaxed);
-                conns.open.fetch_add(1, Ordering::Relaxed);
-                let id = next_conn_id.fetch_add(1, Ordering::Relaxed);
-                let Ok(write_half) = stream.try_clone() else {
-                    conns.open.fetch_sub(1, Ordering::Relaxed);
-                    continue;
-                };
-                let conn = Arc::new(Conn {
-                    writer: Mutex::new(BufWriter::new(write_half)),
-                    window: WindowSem::new(shared.cfg.window),
-                });
-                let tx = worker_txs[(id as usize) % worker_txs.len()].clone();
-                let shared2 = Arc::clone(&shared);
-                let handle = std::thread::Builder::new()
-                    .name(format!("txboost-conn-{id}"))
-                    .spawn(move || reader_loop(shared2, conn, stream, tx))
-                    .expect("spawn reader");
-                readers.lock().push(handle);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(poll),
-            Err(_) => std::thread::sleep(poll),
-        }
-    }
-}
-
-fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
-    while let Ok(job) = rx.recv() {
-        match job {
-            Job::Stop => break,
-            Job::Request { conn, req } => {
-                let resp = match req {
-                    Request::Script { req_id, ops } => {
-                        let out = shared.exec.execute(&ops);
-                        Response::Script {
-                            req_id,
-                            status: out.status,
-                            attempts: out.attempts,
-                            failed_op: out.failed_op,
-                            results: out.results,
-                        }
-                    }
-                    Request::ReadOnlyScript { req_id, ops } => {
-                        // Routed around the lock manager, retry loop
-                        // and WAL entirely: snapshot reads cannot
-                        // conflict, so there is nothing to back off
-                        // from and nothing to log.
-                        let out = shared.exec.execute_read_only(&ops);
-                        Response::Script {
-                            req_id,
-                            status: out.status,
-                            attempts: out.attempts,
-                            failed_op: out.failed_op,
-                            results: out.results,
-                        }
-                    }
-                    Request::Stats { req_id } => Response::Stats {
-                        req_id,
-                        json: shared.exec.stats_json(),
-                    },
-                    Request::Ping { req_id } => Response::Pong { req_id },
-                    Request::Shutdown { req_id } => {
-                        shared.shutdown.store(true, Ordering::SeqCst);
-                        Response::ShutdownAck { req_id }
-                    }
-                };
-                conn.send(&resp);
-                conn.window.release();
-            }
-        }
-    }
-}
-
-/// How one attempt to read a frame ended.
-enum FrameRead {
-    /// A whole frame payload.
-    Frame(Vec<u8>),
-    /// Clean close (EOF at a frame boundary, or drain with no partial
-    /// frame pending).
-    Closed,
-    /// The peer advertised a frame over the limit.
-    Oversized(u32),
-    /// EOF or drain deadline inside a frame.
-    Truncated,
-    /// Transport error.
-    Io,
-}
-
-/// Read one frame, waking every read timeout to honour shutdown. A
-/// drain abandons the connection only at a frame boundary, or after
-/// `drain_grace` if the peer stalls mid-frame.
-fn read_frame_interruptible(shared: &Shared, stream: &mut TcpStream) -> FrameRead {
-    let mut stop_since: Option<Instant> = None;
-    let mut fill = |buf: &mut [u8], at_boundary: bool, stop_since: &mut Option<Instant>| {
-        let mut got = 0usize;
-        while got < buf.len() {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                if at_boundary && got == 0 {
-                    return Err(FrameRead::Closed);
-                }
-                let since = stop_since.get_or_insert_with(Instant::now);
-                if since.elapsed() > shared.cfg.drain_grace {
-                    return Err(FrameRead::Truncated);
-                }
-            }
-            match stream.read(&mut buf[got..]) {
-                Ok(0) => {
-                    return Err(if at_boundary && got == 0 {
-                        FrameRead::Closed
-                    } else {
-                        FrameRead::Truncated
-                    })
-                }
-                Ok(n) => got += n,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock
-                            | io::ErrorKind::TimedOut
-                            | io::ErrorKind::Interrupted
-                    ) => {}
-                Err(_) => return Err(FrameRead::Io),
-            }
-        }
-        Ok(())
-    };
-
-    let mut header = [0u8; 4];
-    if let Err(end) = fill(&mut header, true, &mut stop_since) {
-        return end;
-    }
-    let len = u32::from_le_bytes(header);
-    if len > shared.cfg.max_frame {
-        return FrameRead::Oversized(len);
-    }
-    let mut payload = vec![0u8; len as usize];
-    if let Err(end) = fill(&mut payload, false, &mut stop_since) {
-        return end;
-    }
-    FrameRead::Frame(payload)
-}
-
-fn reader_loop(shared: Arc<Shared>, conn: Arc<Conn>, mut stream: TcpStream, tx: Sender<Job>) {
-    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
-    loop {
-        match read_frame_interruptible(&shared, &mut stream) {
-            FrameRead::Frame(payload) => match wire::decode_request(&payload) {
-                Ok(req) => {
-                    let stop_after = matches!(req, Request::Shutdown { .. });
-                    // Backpressure: block until a window slot frees
-                    // up. The worker releases the slot after writing
-                    // the reply, so a stalled executor stops the read
-                    // loop and, through TCP, the client.
-                    conn.window.acquire();
-                    if tx
-                        .send(Job::Request {
-                            conn: Arc::clone(&conn),
-                            req,
-                        })
-                        .is_err()
-                    {
-                        conn.window.release();
-                        break;
-                    }
-                    if stop_after {
-                        break;
-                    }
-                }
-                Err(e) => {
-                    proto_error(&shared, &conn, &e);
-                    break;
-                }
-            },
-            FrameRead::Oversized(len) => {
-                proto_error(
-                    &shared,
-                    &conn,
-                    &WireError::FrameTooLarge {
-                        len,
-                        max: shared.cfg.max_frame,
-                    },
-                );
-                break;
-            }
-            FrameRead::Closed | FrameRead::Truncated | FrameRead::Io => break,
-        }
-    }
-    shared.exec.conns.open.fetch_sub(1, Ordering::Relaxed);
-    // Dropping `stream` (read half) and our `conn` Arc closes the
-    // socket once in-flight replies have been written (workers hold
-    // the remaining Arcs).
-}
-
-/// Reply with a protocol error, then let the caller close the
-/// connection — after a framing violation the byte stream can no
-/// longer be trusted to be frame-aligned.
-fn proto_error(shared: &Shared, conn: &Conn, err: &WireError) {
-    shared
-        .exec
-        .conns
-        .proto_errors
-        .fetch_add(1, Ordering::Relaxed);
-    let code = match err {
-        WireError::FrameTooLarge { .. } => ProtoErrorCode::FrameTooLarge,
-        WireError::UnknownKind(_) => ProtoErrorCode::UnknownKind,
-        WireError::TooManyOps(_) => ProtoErrorCode::TooManyOps,
-        _ => ProtoErrorCode::Malformed,
-    };
-    conn.send(&Response::Error {
-        req_id: 0,
-        code,
-        message: err.to_string(),
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,13 +387,16 @@ mod tests {
 
     #[test]
     fn bind_on_ephemeral_port_and_drain_immediately() {
-        let server = Server::bind(ServerConfig {
-            addr: "127.0.0.1:0".into(),
-            ..ServerConfig::default()
-        })
-        .unwrap();
-        assert_ne!(server.local_addr().port(), 0);
-        server.shutdown();
-        server.join(); // must not hang with zero connections
+        for io in [IoModel::Threads, IoModel::Epoll] {
+            let server = Server::bind(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                io,
+                ..ServerConfig::default()
+            })
+            .unwrap();
+            assert_ne!(server.local_addr().port(), 0);
+            server.shutdown();
+            server.join(); // must not hang with zero connections
+        }
     }
 }

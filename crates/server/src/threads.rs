@@ -1,0 +1,373 @@
+//! The classic thread-per-connection I/O plane.
+//!
+//! Sharded acceptors race on the listening socket, every connection
+//! gets a blocking reader thread, and decoded requests are pinned to
+//! `conn_id % workers` executor threads (one connection's pipelined
+//! requests execute in order; different connections run in parallel).
+//! Kept as [`crate::IoModel::Threads`] for comparison benchmarks and
+//! non-Linux hosts; the event-driven plane in [`crate::eventloop`] is
+//! the default on Linux.
+
+use crate::{proto_error_code, Shared, WindowSem};
+use parking_lot::Mutex;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use txboost_wire as wire;
+use txboost_wire::{Request, Response, WireError};
+
+/// Shared per-connection state: the write half (workers and the reader
+/// both send frames) and the backpressure window.
+#[derive(Debug)]
+struct Conn {
+    writer: Mutex<BufWriter<TcpStream>>,
+    window: WindowSem,
+}
+
+impl Conn {
+    /// Send one response frame; `false` means the connection is gone
+    /// (the peer will simply never see the reply).
+    fn send(&self, resp: &Response) -> bool {
+        let mut w = self.writer.lock();
+        wire::send_response(&mut *w, resp).is_ok() && w.flush().is_ok()
+    }
+}
+
+enum Job {
+    Request { conn: Arc<Conn>, req: Request },
+    Stop,
+}
+
+/// The running thread plane: handles [`ThreadPlane::join`] collects.
+pub(crate) struct ThreadPlane {
+    acceptors: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    worker_txs: Vec<Sender<Job>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ThreadPlane {
+    /// Spawn workers and acceptors over an already-bound nonblocking
+    /// listener.
+    pub(crate) fn spawn(shared: &Arc<Shared>, listener: &TcpListener) -> io::Result<ThreadPlane> {
+        let cfg = &shared.cfg;
+        let mut worker_txs = Vec::with_capacity(cfg.workers.max(1));
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for i in 0..cfg.workers.max(1) {
+            let (tx, rx) = std::sync::mpsc::channel::<Job>();
+            let shared2 = Arc::clone(shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("txboost-worker-{i}"))
+                    .spawn(move || worker_loop(&shared2, &rx))?,
+            );
+            worker_txs.push(tx);
+        }
+
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let next_conn_id = Arc::new(AtomicU64::new(0));
+        let mut acceptors = Vec::with_capacity(cfg.acceptors.max(1));
+        for i in 0..cfg.acceptors.max(1) {
+            let listener = listener.try_clone()?;
+            let shared2 = Arc::clone(shared);
+            let txs = worker_txs.clone();
+            let readers2 = Arc::clone(&readers);
+            let ids = Arc::clone(&next_conn_id);
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name(format!("txboost-accept-{i}"))
+                    .spawn(move || acceptor_loop(&shared2, &listener, &txs, &readers2, &ids))?,
+            );
+        }
+        Ok(ThreadPlane {
+            acceptors,
+            workers,
+            worker_txs,
+            readers,
+        })
+    }
+
+    /// Drain and join every thread (shutdown must already be
+    /// requested). In-flight requests get replies before this returns.
+    pub(crate) fn join(self) {
+        for h in self.acceptors {
+            let _ = h.join();
+        }
+        // Acceptors are done, so no new readers appear; drain whatever
+        // exists (readers exit on their next poll tick).
+        loop {
+            let handles: Vec<_> = std::mem::take(&mut *self.readers.lock());
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        // Readers are gone: workers' queues can only shrink. A Stop
+        // job behind the remaining work makes each worker drain then
+        // exit.
+        for tx in &self.worker_txs {
+            let _ = tx.send(Job::Stop);
+        }
+        drop(self.worker_txs);
+        for h in self.workers {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Whether an accept failure means descriptor exhaustion
+/// (`EMFILE` = 24, `ENFILE` = 23 on Linux and the BSDs).
+pub(crate) fn fd_exhausted(e: &io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(23 | 24))
+}
+
+fn acceptor_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    worker_txs: &[Sender<Job>],
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    next_conn_id: &Arc<AtomicU64>,
+) {
+    let poll = shared.cfg.poll_interval;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                let conns = &shared.exec.conns;
+                conns.accepted.fetch_add(1, Ordering::Relaxed);
+                conns.open.fetch_add(1, Ordering::Relaxed);
+                let id = next_conn_id.fetch_add(1, Ordering::Relaxed);
+                let Ok(write_half) = stream.try_clone() else {
+                    conns.open.fetch_sub(1, Ordering::Relaxed);
+                    continue;
+                };
+                let conn = Arc::new(Conn {
+                    writer: Mutex::new(BufWriter::new(write_half)),
+                    window: WindowSem::new(shared.cfg.window),
+                });
+                let tx = worker_txs[(id as usize) % worker_txs.len()].clone();
+                let shared2 = Arc::clone(shared);
+                match std::thread::Builder::new()
+                    .name(format!("txboost-conn-{id}"))
+                    .spawn(move || reader_loop(&shared2, &conn, stream, &tx))
+                {
+                    Ok(handle) => readers.lock().push(handle),
+                    Err(_) => {
+                        // Out of threads (or fds for the thread's
+                        // bookkeeping): shed this connection, count
+                        // it, and let the load balancer retry —
+                        // killing the acceptor would kill the server.
+                        conns.open.fetch_sub(1, Ordering::Relaxed);
+                        conns.accept_errors.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(poll);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(poll),
+            Err(e) if fd_exhausted(&e) => {
+                // Descriptor exhaustion: back off instead of spinning
+                // on a hot error. The pending connection stays in the
+                // backlog until descriptors free up or the peer gives
+                // up.
+                shared
+                    .exec
+                    .conns
+                    .accept_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(poll.max(shared.cfg.poll_interval * 4));
+            }
+            Err(_) => std::thread::sleep(poll),
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Stop => break,
+            Job::Request { conn, req } => {
+                let resp = match req {
+                    Request::Script { req_id, ops } => {
+                        let out = shared.exec.execute(&ops);
+                        Response::Script {
+                            req_id,
+                            status: out.status,
+                            attempts: out.attempts,
+                            failed_op: out.failed_op,
+                            results: out.results,
+                        }
+                    }
+                    Request::ReadOnlyScript { req_id, ops } => {
+                        // Routed around the lock manager, retry loop
+                        // and WAL entirely: snapshot reads cannot
+                        // conflict, so there is nothing to back off
+                        // from and nothing to log.
+                        let out = shared.exec.execute_read_only(&ops);
+                        Response::Script {
+                            req_id,
+                            status: out.status,
+                            attempts: out.attempts,
+                            failed_op: out.failed_op,
+                            results: out.results,
+                        }
+                    }
+                    Request::Stats { req_id } => Response::Stats {
+                        req_id,
+                        json: shared.exec.stats_json(),
+                    },
+                    Request::Ping { req_id } => Response::Pong { req_id },
+                    Request::Shutdown { req_id } => {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        Response::ShutdownAck { req_id }
+                    }
+                };
+                conn.send(&resp);
+                conn.window.release();
+            }
+        }
+    }
+}
+
+/// How one attempt to read a frame ended.
+enum FrameRead {
+    /// A whole frame payload.
+    Frame(Vec<u8>),
+    /// Clean close (EOF at a frame boundary, or drain with no partial
+    /// frame pending).
+    Closed,
+    /// The peer advertised a frame over the limit.
+    Oversized(u32),
+    /// EOF or drain deadline inside a frame.
+    Truncated,
+    /// Transport error.
+    Io,
+}
+
+/// Read one frame, waking every read timeout to honour shutdown. A
+/// drain abandons the connection only at a frame boundary, or after
+/// `drain_grace` if the peer stalls mid-frame.
+fn read_frame_interruptible(shared: &Shared, stream: &mut TcpStream) -> FrameRead {
+    let mut stop_since: Option<Instant> = None;
+    let mut fill = |buf: &mut [u8], at_boundary: bool, stop_since: &mut Option<Instant>| {
+        let mut got = 0usize;
+        while got < buf.len() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                if at_boundary && got == 0 {
+                    return Err(FrameRead::Closed);
+                }
+                let since = stop_since.get_or_insert_with(Instant::now);
+                if since.elapsed() > shared.cfg.drain_grace {
+                    return Err(FrameRead::Truncated);
+                }
+            }
+            match stream.read(&mut buf[got..]) {
+                Ok(0) => {
+                    return Err(if at_boundary && got == 0 {
+                        FrameRead::Closed
+                    } else {
+                        FrameRead::Truncated
+                    })
+                }
+                Ok(n) => got += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(_) => return Err(FrameRead::Io),
+            }
+        }
+        Ok(())
+    };
+
+    let mut header = [0u8; 4];
+    if let Err(end) = fill(&mut header, true, &mut stop_since) {
+        return end;
+    }
+    let len = u32::from_le_bytes(header);
+    if len > shared.cfg.max_frame {
+        return FrameRead::Oversized(len);
+    }
+    let mut payload = vec![0u8; len as usize];
+    if let Err(end) = fill(&mut payload, false, &mut stop_since) {
+        return end;
+    }
+    FrameRead::Frame(payload)
+}
+
+fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, mut stream: TcpStream, tx: &Sender<Job>) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    loop {
+        match read_frame_interruptible(shared, &mut stream) {
+            FrameRead::Frame(payload) => match wire::decode_request(&payload) {
+                Ok(req) => {
+                    let stop_after = matches!(req, Request::Shutdown { .. });
+                    // Backpressure: block until a window slot frees
+                    // up. The worker releases the slot after writing
+                    // the reply, so a stalled executor stops the read
+                    // loop and, through TCP, the client.
+                    conn.window.acquire();
+                    if tx
+                        .send(Job::Request {
+                            conn: Arc::clone(conn),
+                            req,
+                        })
+                        .is_err()
+                    {
+                        conn.window.release();
+                        break;
+                    }
+                    if stop_after {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    proto_error(shared, conn, &e);
+                    break;
+                }
+            },
+            FrameRead::Oversized(len) => {
+                proto_error(
+                    shared,
+                    conn,
+                    &WireError::FrameTooLarge {
+                        len,
+                        max: shared.cfg.max_frame,
+                    },
+                );
+                break;
+            }
+            FrameRead::Closed | FrameRead::Truncated | FrameRead::Io => break,
+        }
+    }
+    shared.exec.conns.open.fetch_sub(1, Ordering::Relaxed);
+    // Dropping `stream` (read half) and our `conn` Arc closes the
+    // socket once in-flight replies have been written (workers hold
+    // the remaining Arcs).
+}
+
+/// Reply with a protocol error, then let the caller close the
+/// connection — after a framing violation the byte stream can no
+/// longer be trusted to be frame-aligned.
+fn proto_error(shared: &Shared, conn: &Conn, err: &WireError) {
+    shared
+        .exec
+        .conns
+        .proto_errors
+        .fetch_add(1, Ordering::Relaxed);
+    conn.send(&Response::Error {
+        req_id: 0,
+        code: proto_error_code(err),
+        message: err.to_string(),
+    });
+}

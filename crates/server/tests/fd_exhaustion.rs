@@ -1,0 +1,160 @@
+//! Descriptor-exhaustion regression: when `accept` hits `EMFILE` /
+//! `ENFILE`, the server must shed the connection gracefully — log it,
+//! count it in `STATS`, back off — and resume accepting once
+//! descriptors free up. It must never busy-spin the accept loop or
+//! die.
+//!
+//! The test caps `RLIMIT_NOFILE` just above the process's current
+//! usage, provokes the failure, watches the `accept_errors` counter
+//! through an already-open connection, then restores the limit and
+//! proves new connections work again. One test per plane; nothing else
+//! runs in this binary, because the rlimit is process-wide.
+
+#![cfg(target_os = "linux")]
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use txboost_client::{Connection, ScriptBuilder};
+use txboost_server::{IoModel, Server, ServerConfig};
+use txboost_wire::ScriptStatus;
+
+const RLIMIT_NOFILE: i32 = 7;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+extern "C" {
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+fn get_nofile() -> RLimit {
+    let mut lim = RLimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a valid, writable rlimit struct matching the
+    // kernel's layout for RLIMIT_NOFILE.
+    let rc = unsafe { getrlimit(RLIMIT_NOFILE, &raw mut lim) };
+    assert_eq!(rc, 0, "getrlimit failed");
+    lim
+}
+
+fn set_nofile(lim: RLimit) {
+    // SAFETY: `lim` is a valid rlimit value; lowering/restoring the
+    // soft bound never exceeds the hard bound below.
+    let rc = unsafe { setrlimit(RLIMIT_NOFILE, &raw const lim) };
+    assert_eq!(rc, 0, "setrlimit failed");
+}
+
+/// Highest file descriptor currently open in this process.
+fn max_open_fd() -> u64 {
+    std::fs::read_dir("/proc/self/fd")
+        .expect("proc fd dir")
+        .filter_map(|e| e.ok()?.file_name().into_string().ok()?.parse::<u64>().ok())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Pull the `accept_errors` counter out of the stats document.
+fn accept_errors(stats: &str) -> u64 {
+    let tail = stats
+        .split("\"accept_errors\":")
+        .nth(1)
+        .expect("stats should report accept_errors");
+    tail.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("accept_errors should be a number")
+}
+
+fn exercise(io: IoModel) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        io,
+        acceptors: 1,
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind test server");
+    let addr = server.local_addr().to_string();
+
+    // A scout connection opened while descriptors are plentiful; it is
+    // the stats channel for the whole episode.
+    let mut scout = Connection::connect(&addr).unwrap();
+    scout
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    scout.ping().unwrap();
+    let baseline = accept_errors(&scout.stats_json().unwrap());
+
+    let saved = get_nofile();
+    // Leave room for roughly one more descriptor: the victim's client
+    // socket fits, the server-side accept does not.
+    set_nofile(RLimit {
+        cur: max_open_fd() + 3,
+        max: saved.max,
+    });
+
+    // Provoke: connects land in the backlog; the accepts hit EMFILE.
+    // Client-side EMFILE (our own connect running out) is fine too —
+    // at least one attempt must reach a failing accept.
+    let mut victims = Vec::new();
+    for _ in 0..4 {
+        if let Ok(s) = TcpStream::connect(&addr) {
+            victims.push(s);
+        }
+    }
+
+    // The server records the shed accepts and stays responsive.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        scout.ping().unwrap();
+        if accept_errors(&scout.stats_json().unwrap()) > baseline {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "accept_errors never incremented under EMFILE ({io:?})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Recover: free descriptors, restore the limit, and prove fresh
+    // connections are served again once the backoff expires.
+    drop(victims);
+    set_nofile(saved);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut fresh = loop {
+        match Connection::connect(&addr) {
+            Ok(conn) => break conn,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "server never resumed accepting after EMFILE ({io:?}): {e}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    fresh
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let out = fresh
+        .execute(ScriptBuilder::new().counter_add("post-emfile", 1).build())
+        .unwrap();
+    assert_eq!(out.status, ScriptStatus::Committed);
+
+    drop(fresh);
+    drop(scout);
+    server.join();
+}
+
+#[test]
+fn emfile_on_accept_sheds_and_recovers() {
+    // Sequential on purpose: the rlimit is process state.
+    exercise(IoModel::Epoll);
+    exercise(IoModel::Threads);
+}

@@ -568,6 +568,113 @@ pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Option<Vec<u8>>, Wi
     Ok(Some(payload))
 }
 
+/// Resumable frame decoder for nonblocking sockets.
+///
+/// [`read_frame`] assumes a blocking reader that can be parked until a
+/// whole frame arrives. A readiness-driven event loop cannot block: a
+/// read returns whatever bytes the kernel has, which may be half a
+/// length prefix, three frames and a fragment, or one byte. The
+/// decoder accumulates those bytes per connection and yields complete
+/// frames as they form; any suffix stays buffered for the next
+/// readiness event.
+///
+/// An oversized length prefix is rejected as soon as the 4 header
+/// bytes are present — before the payload arrives and before any
+/// payload-sized allocation, preserving [`read_frame`]'s hostile-peer
+/// guarantee.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max_len: u32,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// New decoder enforcing `max_len` as the maximum payload size.
+    #[must_use]
+    pub fn new(max_len: u32) -> Self {
+        FrameDecoder {
+            max_len,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Append freshly-read socket bytes to the decode buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Drop the consumed prefix before growing, so a long-lived
+        // connection's buffer stays proportional to its unparsed tail.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, `Ok(None)` if more bytes are
+    /// needed, or an error for an oversized length prefix. After an
+    /// error the connection should be closed; the decoder makes no
+    /// attempt to resynchronise.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let header: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("slice of length 4");
+        let len = u32::from_le_bytes(header);
+        if len > self.max_len {
+            return Err(WireError::FrameTooLarge {
+                len,
+                max: self.max_len,
+            });
+        }
+        let total = 4 + len as usize;
+        if avail < total {
+            return Ok(None);
+        }
+        let payload = self.buf[self.pos + 4..self.pos + total].to_vec();
+        self.pos += total;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(payload))
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True if the peer closed mid-frame: bytes are buffered but no
+    /// complete frame can ever form from them. Used to distinguish a
+    /// clean close (EOF at a frame boundary) from truncation.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// True if a complete, well-sized frame is buffered — the next
+    /// [`FrameDecoder::next_frame`] call would yield `Ok(Some(_))`.
+    /// Non-mutating: lets an event loop ask "is decoded work still
+    /// pending on this connection?" without popping the frame.
+    #[must_use]
+    pub fn has_frame(&self) -> bool {
+        let avail = self.buffered();
+        if avail < 4 {
+            return false;
+        }
+        let Ok(header) = <[u8; 4]>::try_from(&self.buf[self.pos..self.pos + 4]) else {
+            return false;
+        };
+        let len = u32::from_le_bytes(header);
+        len <= self.max_len && avail >= 4 + len as usize
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Payload encoding
 // ---------------------------------------------------------------------------
@@ -1239,5 +1346,66 @@ mod tests {
         assert_eq!(op_name(0x0B), Some("debug_abort"));
         assert_eq!(op_name(0x0C), None);
         assert_eq!(op_name(0), None);
+    }
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn decoder_reassembles_one_byte_at_a_time() {
+        let stream = framed(b"hello");
+        let mut dec = FrameDecoder::new(MAX_FRAME_LEN);
+        for (i, b) in stream.iter().enumerate() {
+            assert_eq!(dec.next_frame().unwrap(), None, "frame early at byte {i}");
+            dec.feed(std::slice::from_ref(b));
+        }
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn decoder_yields_multiple_frames_from_one_feed() {
+        let mut stream = framed(b"a");
+        stream.extend_from_slice(&framed(b""));
+        stream.extend_from_slice(&framed(b"three"));
+        // Trailing fragment: half a header.
+        stream.extend_from_slice(&[9, 0]);
+        let mut dec = FrameDecoder::new(MAX_FRAME_LEN);
+        dec.feed(&stream);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"a"[..]));
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"three"[..]));
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.mid_frame());
+        assert_eq!(dec.buffered(), 2);
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_header_before_payload() {
+        let mut dec = FrameDecoder::new(64);
+        dec.feed(&1000u32.to_le_bytes());
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::FrameTooLarge { len: 1000, max: 64 })
+        ));
+    }
+
+    #[test]
+    fn decoder_interleaves_feed_and_decode() {
+        let mut dec = FrameDecoder::new(MAX_FRAME_LEN);
+        let a = framed(&[1; 10]);
+        let b = framed(&[2; 20]);
+        dec.feed(&a);
+        dec.feed(&b[..3]);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&[1u8; 10][..]));
+        assert!(dec.mid_frame());
+        dec.feed(&b[3..]);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&[2u8; 20][..]));
+        assert!(!dec.mid_frame());
+        assert_eq!(dec.buffered(), 0);
     }
 }
